@@ -1,0 +1,383 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper (regenerating it at reduced scale and reporting the headline
+// metric), micro-benchmarks of the core components, and ablation benches
+// for the design choices called out in DESIGN.md.
+//
+// Full-size regeneration with text output is cmd/paperfigs; these benches
+// make the experiments repeatable under `go test -bench`.
+package vliwmt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"vliwmt"
+	"vliwmt/internal/cache"
+	"vliwmt/internal/experiments"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/logic"
+	"vliwmt/internal/merge"
+	"vliwmt/internal/sim"
+	"vliwmt/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.DefaultOptions().Scale(30_000)
+}
+
+// BenchmarkTable1 regenerates Table 1 (per-benchmark IPCr/IPCp) and
+// reports the measured average IPCp across the twelve benchmarks.
+func BenchmarkTable1(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := 0.0
+		for _, r := range rows {
+			s += r.IPCp
+		}
+		avg = s / float64(len(rows))
+	}
+	b.ReportMetric(avg, "avg-IPCp")
+}
+
+// BenchmarkFigure4 regenerates Figure 4 and reports the 4-thread-over-
+// 2-thread SMT advantage in percent (the paper reports +61%).
+func BenchmarkFigure4(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = 100 * (f.FourThread - f.TwoThread) / f.TwoThread
+	}
+	b.ReportMetric(adv, "4T-vs-2T-%")
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (merge-control scaling 2..8
+// threads) and reports the CSMT-parallel/SMT transistor ratio at 8 threads
+// (the paper's crossover: above 1 means the parallel form overtook SMT).
+func BenchmarkFigure5(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5(isa.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		ratio = float64(last.CSMTParallel.Transistors) / float64(last.SMT.Transistors)
+	}
+	b.ReportMetric(ratio, "PL/SMT-tr@8")
+}
+
+// BenchmarkFigure6 regenerates Figure 6 and reports the average SMT
+// advantage over CSMT in percent (the paper reports +27%).
+func BenchmarkFigure6(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv = rows[len(rows)-1].AdvantagePc
+	}
+	b.ReportMetric(adv, "SMT-vs-CSMT-%")
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (cost of all sixteen schemes) and
+// reports the 2SC3/1S transistor ratio (the paper's headline: close to 1).
+func BenchmarkFigure9(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		costs, err := experiments.Fig9(isa.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		by := map[string]int{}
+		for _, c := range costs {
+			by[c.Scheme] = c.Transistors
+		}
+		ratio = float64(by["2SC3"]) / float64(by["1S"])
+	}
+	b.ReportMetric(ratio, "2SC3/1S-tr")
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (all schemes on all mixes) and
+// reports the 2SC3 average IPC.
+func BenchmarkFigure10(b *testing.B) {
+	var ipc float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ipc = rows[len(rows)-1].IPC["2SC3"]
+	}
+	b.ReportMetric(ipc, "2SC3-IPC")
+}
+
+// BenchmarkFigure11And12 regenerates the cost/performance trade-off
+// scatter data and reports 2SC3's fraction of 3SSS performance (the paper:
+// within 11%, i.e. about 0.89).
+func BenchmarkFigure11And12(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		rows, err := experiments.Fig10(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := experiments.Tradeoffs(opts.Machine, rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sc3, sss float64
+		for _, p := range pts {
+			switch p.Scheme {
+			case "2SC3":
+				sc3 = p.IPC
+			case "3SSS":
+				sss = p.IPC
+			}
+		}
+		frac = sc3 / sss
+	}
+	b.ReportMetric(frac, "2SC3/3SSS-IPC")
+}
+
+// --- Micro-benchmarks -----------------------------------------------
+
+// BenchmarkMergeSelect measures the behavioural merge-stage selection
+// throughput of the recommended scheme.
+func BenchmarkMergeSelect(b *testing.B) {
+	m := isa.Default()
+	tree, err := merge.Parse("2SC3", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	var sets [][]*isa.Occupancy
+	for i := 0; i < 256; i++ {
+		cands := make([]*isa.Occupancy, 4)
+		for p := range cands {
+			if r.Intn(5) == 0 {
+				continue
+			}
+			var ops []isa.Op
+			for j := 0; j < 1+r.Intn(6); j++ {
+				ops = append(ops, isa.Op{Class: isa.OpALU, Cluster: uint8(r.Intn(4))})
+			}
+			occ := isa.OccupancyOf(ops)
+			cands[p] = &occ
+		}
+		sets = append(sets, cands)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Select(&m, sets[i%len(sets)])
+	}
+}
+
+// BenchmarkSimulator measures raw simulation speed (cycles per second) on
+// the 4-thread LLHH workload under 2SC3.
+func BenchmarkSimulator(b *testing.B) {
+	cfg := vliwmt.DefaultConfig()
+	cfg.Scheme = "2SC3"
+	cfg.InstrLimit = 20_000
+	cfg.TimesliceCycles = 5_000
+	mix, err := workload.MixByName("LLHH")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tasks []sim.Task
+	for _, name := range mix.Members {
+		p, err := vliwmt.CompileBenchmark(name, cfg.Machine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, sim.Task{Name: name, Prog: p})
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(cfg, tasks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cycles)/sec, "cycles/s")
+	}
+}
+
+// BenchmarkCompile measures compilation of the widest kernel.
+func BenchmarkCompile(b *testing.B) {
+	bench, err := workload.ByName("colorspace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Compile(isa.Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheAccess measures the set-associative cache model.
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := cache.New(cache.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i%len(addrs)], i%7 == 0)
+	}
+}
+
+// BenchmarkCircuitBuild measures gate-level construction of the most
+// expensive merge control (8-thread parallel CSMT).
+func BenchmarkCircuitBuild(b *testing.B) {
+	m := isa.Default()
+	for i := 0; i < b.N; i++ {
+		tree, err := merge.ParallelCSMT("C8", 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := logic.BuildScheme(&m, tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches -------------------------------------------------
+
+// BenchmarkAblationPriorityRotation compares round-robin priority rotation
+// against fixed priority on 4-thread CSMT and reports the rotation gain.
+func BenchmarkAblationPriorityRotation(b *testing.B) {
+	run := func(fixed bool) float64 {
+		cfg := vliwmt.DefaultConfig()
+		cfg.Scheme = "3CCC"
+		cfg.InstrLimit = 20_000
+		cfg.TimesliceCycles = 5_000
+		cfg.FixedPriority = fixed
+		res, err := vliwmt.RunMix(cfg, "MMMM")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.IPC
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gain = 100 * (run(false) - run(true)) / run(true)
+	}
+	b.ReportMetric(gain, "rotation-gain-%")
+}
+
+// BenchmarkAblationBalancedVsCascade compares the balanced trees against
+// their cascades (2CC vs 3CCC and 2SS vs 3SSS): lower delay, but the
+// all-or-nothing sub-packet rule costs performance.
+func BenchmarkAblationBalancedVsCascade(b *testing.B) {
+	run := func(scheme string) float64 {
+		cfg := vliwmt.DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.InstrLimit = 20_000
+		cfg.TimesliceCycles = 5_000
+		res, err := vliwmt.RunMix(cfg, "LLMM")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.IPC
+	}
+	var lossC float64
+	for i := 0; i < b.N; i++ {
+		lossC = 100 * (run("3CCC") - run("2CC")) / run("3CCC")
+	}
+	b.ReportMetric(lossC, "2CC-loss-vs-3CCC-%")
+}
+
+// BenchmarkAblationUnroll sweeps the compiler unroll factor on the
+// colorspace kernel and reports the IPC spread (the taken-branch penalty
+// amortisation DESIGN.md calls out).
+func BenchmarkAblationUnroll(b *testing.B) {
+	bench, err := workload.ByName("colorspace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := isa.Default()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		ipcs := map[int]float64{}
+		for _, u := range []int{1, 2, 4} {
+			prog, err := vliwmt.CompileKernel(bench.Build(), m, u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ipc, err := vliwmt.SingleThreadIPC(m, prog, 20_000, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ipcs[u] = ipc
+		}
+		spread = 100 * (ipcs[4] - ipcs[1]) / ipcs[1]
+	}
+	b.ReportMetric(spread, "unroll4-vs-1-%")
+}
+
+// BenchmarkAblationBaselines compares the classic multithreading baselines
+// (IMT, BMT) against merged issue on the same workload, reporting the
+// 2SC3-over-IMT gain.
+func BenchmarkAblationBaselines(b *testing.B) {
+	run := func(scheme string) float64 {
+		cfg := vliwmt.DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.InstrLimit = 20_000
+		cfg.TimesliceCycles = 5_000
+		res, err := vliwmt.RunMix(cfg, "LLMM")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.IPC
+	}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		imt := run("IMT")
+		_ = run("BMT")
+		gain = 100 * (run("2SC3") - imt) / imt
+	}
+	b.ReportMetric(gain, "2SC3-vs-IMT-%")
+}
+
+// BenchmarkExtension8Threads runs the beyond-the-paper scaling experiment
+// (eight hardware threads) and reports the buildable hybrid's fraction of
+// full 8-thread SMT performance.
+func BenchmarkExtension8Threads(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Scaling8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var hybrid, smt float64
+		for _, r := range rows {
+			switch r.Scheme {
+			case "4SC3C3C3":
+				hybrid = r.IPC
+			case "7SSSSSSS":
+				smt = r.IPC
+			}
+		}
+		frac = hybrid / smt
+	}
+	b.ReportMetric(frac, "hybrid/SMT-IPC")
+}

@@ -1,0 +1,74 @@
+// Command mergecost reports the gate-level hardware cost of thread merge
+// controls: per scheme (the paper's Figure 9) and as a function of thread
+// count (Figure 5).
+//
+// Usage:
+//
+//	mergecost                  # all sixteen schemes
+//	mergecost -scheme 2SC3
+//	mergecost -scaling 2-8     # CSMT SL / CSMT PL / SMT curves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vliwmt"
+	"vliwmt/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mergecost: ")
+	var (
+		scheme  = flag.String("scheme", "", "single scheme to cost")
+		scaling = flag.String("scaling", "", "thread range for control scaling, e.g. 2-8")
+	)
+	flag.Parse()
+	m := vliwmt.DefaultMachine()
+
+	switch {
+	case *scheme != "":
+		sc, err := vliwmt.Cost(m, *scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		desc, _ := vliwmt.DescribeScheme(*scheme)
+		fmt.Printf("%s = %s\ntransistors: %d\ngate delays: %d\n", sc.Scheme, desc, sc.Transistors, sc.GateDelays)
+
+	case *scaling != "":
+		var lo, hi int
+		if _, err := fmt.Sscanf(*scaling, "%d-%d", &lo, &hi); err != nil {
+			log.Fatalf("bad -scaling %q: %v", *scaling, err)
+		}
+		pts, err := vliwmt.CostScaling(m, lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				fmt.Sprint(p.Threads),
+				fmt.Sprint(p.CSMTSerial.Transistors), fmt.Sprint(p.CSMTSerial.GateDelays),
+				fmt.Sprint(p.CSMTParallel.Transistors), fmt.Sprint(p.CSMTParallel.GateDelays),
+				fmt.Sprint(p.SMT.Transistors), fmt.Sprint(p.SMT.GateDelays),
+			})
+		}
+		report.Table(os.Stdout,
+			[]string{"threads", "csmt-sl tr", "delays", "csmt-pl tr", "delays", "smt tr", "delays"}, rows)
+
+	default:
+		var rows [][]string
+		for _, s := range vliwmt.Schemes() {
+			sc, err := vliwmt.Cost(m, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			desc, _ := vliwmt.DescribeScheme(s)
+			rows = append(rows, []string{s, fmt.Sprint(sc.Transistors), fmt.Sprint(sc.GateDelays), desc})
+		}
+		report.Table(os.Stdout, []string{"scheme", "transistors", "gate delays", "structure"}, rows)
+	}
+}

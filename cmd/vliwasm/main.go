@@ -1,0 +1,62 @@
+// Command vliwasm compiles a Table 1 benchmark kernel and prints its
+// scheduled clustered-VLIW code, static statistics, or binary encoding —
+// the repository's equivalent of a compiler's -S output.
+//
+// Usage:
+//
+//	vliwasm -bench idct
+//	vliwasm -bench mcf -stats
+//	vliwasm -bench x264 -encode | xxd | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vliwmt"
+	"vliwmt/internal/isa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vliwasm: ")
+	var (
+		bench  = flag.String("bench", "", "benchmark to compile (see vliwsim -list)")
+		stats  = flag.Bool("stats", false, "print static statistics only")
+		encode = flag.Bool("encode", false, "write the binary encoding to stdout")
+	)
+	flag.Parse()
+	if *bench == "" {
+		log.Fatal("specify -bench")
+	}
+	m := vliwmt.DefaultMachine()
+	p, err := vliwmt.CompileBenchmark(*bench, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case *stats:
+		ni, no := p.NumInstructions(), p.NumOps()
+		fmt.Printf("program:       %s\n", p.Name)
+		fmt.Printf("blocks:        %d\n", len(p.Blocks))
+		fmt.Printf("instructions:  %d\n", ni)
+		fmt.Printf("operations:    %d\n", no)
+		fmt.Printf("ops/instr:     %.2f (static issue density)\n", p.StaticOpsPerInstr())
+		fmt.Printf("code size:     %d bytes\n", p.CodeSize)
+		fmt.Printf("branch sites:  %d\n", p.NumBranchSites)
+	case *encode:
+		var buf []byte
+		for bi := range p.Blocks {
+			for _, in := range p.Blocks[bi].Instrs {
+				buf = isa.AppendEncoded(buf, in)
+			}
+		}
+		if _, err := os.Stdout.Write(buf); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Print(p.Disassemble())
+	}
+}

@@ -1,0 +1,74 @@
+// Costexplorer: sweep every merging scheme across all nine Table 2
+// workloads, combine performance with the gate-level cost model, and print
+// the Pareto frontier of merge-control designs (the actionable summary of
+// the paper's Figures 11 and 12), plus how each control scales with the
+// thread count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"vliwmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	machine := vliwmt.DefaultMachine()
+
+	type point struct {
+		scheme      string
+		ipc         float64
+		transistors int
+		delays      int
+	}
+	var pts []point
+	for _, scheme := range vliwmt.Schemes() {
+		cfg := vliwmt.DefaultConfig()
+		cfg.Contexts = vliwmt.SchemeThreads(scheme)
+		cfg.Scheme = scheme
+		cfg.InstrLimit = 120_000
+		cfg.TimesliceCycles = 5_000
+		sum := 0.0
+		for _, mix := range vliwmt.Mixes() {
+			res, err := vliwmt.RunMix(cfg, mix.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.IPC
+		}
+		c, err := vliwmt.Cost(machine, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, point{scheme, sum / float64(len(vliwmt.Mixes())), c.Transistors, c.GateDelays})
+	}
+
+	// Pareto frontier on (transistors down, IPC up).
+	sort.Slice(pts, func(i, j int) bool { return pts[i].transistors < pts[j].transistors })
+	fmt.Printf("%-7s %8s %12s %8s %s\n", "scheme", "avg IPC", "transistors", "delays", "pareto")
+	bestIPC := 0.0
+	for _, p := range pts {
+		mark := ""
+		if p.ipc > bestIPC {
+			mark = "*"
+			bestIPC = p.ipc
+		}
+		fmt.Printf("%-7s %8.3f %12d %8d %s\n", p.scheme, p.ipc, p.transistors, p.delays, mark)
+	}
+	fmt.Println("\n* = Pareto-optimal: no cheaper scheme performs better.")
+
+	fmt.Println("\nmerge-control scaling with thread count:")
+	scaling, err := vliwmt.CostScaling(machine, 2, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%7s %14s %14s %14s\n", "threads", "CSMT serial", "CSMT parallel", "SMT")
+	for _, p := range scaling {
+		fmt.Printf("%7d %10d tr  %10d tr  %10d tr\n",
+			p.Threads, p.CSMTSerial.Transistors, p.CSMTParallel.Transistors, p.SMT.Transistors)
+	}
+	fmt.Println("\nCSMT-serial scales linearly, CSMT-parallel exponentially (crossing")
+	fmt.Println("SMT around seven threads), SMT per added thread costs a full merge block.")
+}

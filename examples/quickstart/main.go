@@ -1,0 +1,41 @@
+// Quickstart: simulate the paper's LLHH workload (two low-ILP and two
+// high-ILP programs) on the 4-thread clustered VLIW processor under three
+// merge controls — 4-thread SMT (3SSS), 4-thread CSMT (3CCC) and the
+// paper's recommended hybrid 2SC3 — and compare throughput and hardware
+// cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vliwmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := vliwmt.DefaultConfig()
+	cfg.InstrLimit = 300_000
+	cfg.TimesliceCycles = 10_000
+
+	fmt.Println("LLHH workload (mcf, blowfish, x264, idct) on a", cfg.Machine.String())
+	fmt.Println()
+	fmt.Printf("%-6s %-22s %8s %12s %11s\n", "scheme", "structure", "IPC", "transistors", "gate delays")
+	for _, scheme := range []string{"3SSS", "3CCC", "2SC3"} {
+		cfg.Scheme = scheme
+		res, err := vliwmt.RunMix(cfg, "LLHH")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := vliwmt.Cost(cfg.Machine, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		desc, _ := vliwmt.DescribeScheme(scheme)
+		fmt.Printf("%-6s %-22s %8.3f %12d %11d\n", scheme, desc, res.IPC, c.Transistors, c.GateDelays)
+	}
+	fmt.Println()
+	fmt.Println("2SC3 merges two threads at operation level (SMT) and folds two more")
+	fmt.Println("in at cluster level (CSMT): most of the SMT performance at roughly")
+	fmt.Println("the hardware cost of a 2-thread SMT merge control.")
+}

@@ -1,0 +1,166 @@
+// Package cache models the set-associative instruction and data caches of
+// the simulated processor. The paper's configuration is 64KB, 4-way
+// set-associative with a flat 20-cycle miss penalty (400MHz core, 50ns
+// worst-case DRAM critical-word latency); hits never stall.
+package cache
+
+import "fmt"
+
+// Config describes one cache.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// LineSize is the line (block) size in bytes.
+	LineSize int
+	// Ways is the set associativity.
+	Ways int
+	// MissPenalty is the thread stall in cycles on a miss.
+	MissPenalty int
+}
+
+// DefaultConfig returns the paper's cache configuration: 64KB, 4-way,
+// 64-byte lines, 20-cycle miss penalty.
+func DefaultConfig() Config {
+	return Config{Size: 64 << 10, LineSize: 64, Ways: 4, MissPenalty: 20}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: size, line size and ways must be positive: %+v", c)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d is not a power of two", c.LineSize)
+	case c.Size%(c.LineSize*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d is not divisible by ways*line (%d)", c.Size, c.LineSize*c.Ways)
+	case c.MissPenalty < 0:
+		return fmt.Errorf("cache: negative miss penalty")
+	}
+	sets := c.Size / (c.LineSize * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats accumulates access counters.
+type Stats struct {
+	Accesses   int64
+	Misses     int64
+	Writebacks int64
+}
+
+// MissRate returns Misses/Accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	used  uint64 // LRU timestamp
+	valid bool
+	dirty bool
+}
+
+// Cache is a single write-back, write-allocate, LRU set-associative cache.
+// It is a timing model only: no data is stored.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	clock     uint64
+	Stats     Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.Size / (cfg.LineSize * cfg.Ways)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineSize {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1), lineShift: shift}, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access performs one read (write=false) or write (write=true) and reports
+// whether it hit. Misses allocate the line, evicting the LRU way; evicting
+// a dirty line counts a writeback.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	c.Stats.Accesses++
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].used = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	c.Stats.Misses++
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].used < set[victim].used {
+				victim = i
+			}
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.Stats.Writebacks++
+	}
+	set[victim] = line{tag: lineAddr, used: c.clock, valid: true, dirty: write}
+	return false
+}
+
+// Contains reports whether addr's line is resident (no state change).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.lineShift
+	set := c.sets[lineAddr&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// MissPenalty returns the configured miss stall in cycles.
+func (c *Cache) MissPenalty() int { return c.cfg.MissPenalty }
+
+// Flush invalidates all lines (keeping statistics), counting writebacks
+// for dirty lines.
+func (c *Cache) Flush() {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid && c.sets[si][wi].dirty {
+				c.Stats.Writebacks++
+			}
+			c.sets[si][wi] = line{}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package compiler lowers IR functions to scheduled clustered-VLIW code.
+//
+// It is the repository's stand-in for the VEX C compiler the paper uses
+// (a Multiflow descendant applying Trace Scheduling globally and
+// Bottom-Up-Greedy cluster assignment): each basic block is compiled with
+//
+//  1. optional loop unrolling (self-loops, honouring carried dependencies),
+//  2. BUG-style greedy cluster assignment minimising estimated completion
+//     time with load balancing across clusters,
+//  3. explicit intercluster copy insertion (copies occupy an issue slot on
+//     the producing cluster and add one cycle of latency), and
+//  4. critical-path-priority list scheduling against per-cycle resource
+//     tables (issue width, multipliers, load/store unit, branch unit).
+//
+// Latency gaps emerge as empty (NOP) instructions: the machine has no
+// interlocks, so every cycle of a block's schedule is an architectural
+// instruction, exactly the vertical waste multithreading recovers.
+package compiler
+
+import (
+	"fmt"
+
+	"vliwmt/internal/ir"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/program"
+)
+
+// Options configures compilation.
+type Options struct {
+	Machine isa.Machine
+	// Unroll replicates the body of self-loop blocks the given number of
+	// times (1 or 0 means no unrolling).
+	Unroll int
+}
+
+// Compile lowers f to an executable program for machine opts.Machine.
+func Compile(f *ir.Function, opts Options) (*program.Program, error) {
+	m := opts.Machine
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Unroll > 1 {
+		f = Unroll(f, opts.Unroll)
+	}
+	p := &program.Program{
+		Name:      f.Name,
+		Streams:   f.Streams,
+		SourceOps: f.NumOps(),
+	}
+	var addr uint64
+	branchSites := 0
+	asn := newAssigner(&m)
+	for bi, blk := range f.Blocks {
+		sched, err := compileBlock(f, blk, &m, asn)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: %s.%s: %w", f.Name, blk.Name, err)
+		}
+		pb := program.Block{
+			Name:         blk.Name,
+			Instrs:       sched,
+			BranchTarget: -1,
+			BranchStream: -1,
+			Next:         (bi + 1) % len(f.Blocks),
+		}
+		if blk.Branch != nil {
+			pb.BranchTarget = f.BlockIndex(blk.Branch.Target)
+			pb.Behavior = blk.Branch.Behavior
+			pb.BranchStream = branchSites
+			branchSites++
+		}
+		pb.Addrs = make([]uint64, len(sched))
+		for ii := range sched {
+			pb.Addrs[ii] = addr
+			addr += uint64(sched[ii].EncodedSize())
+		}
+		p.Blocks = append(p.Blocks, pb)
+	}
+	p.CodeSize = addr
+	p.NumBranchSites = branchSites
+	if err := p.Validate(&m); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Unroll replicates the bodies of self-loop blocks factor times, chaining
+// carried dependencies between the replicated iterations and dividing loop
+// trip counts accordingly. Blocks that are not counted self-loops are
+// copied unchanged.
+func Unroll(f *ir.Function, factor int) *ir.Function {
+	out := &ir.Function{Name: f.Name, Streams: f.Streams}
+	for _, blk := range f.Blocks {
+		br := blk.Branch
+		selfLoop := br != nil && br.Target == blk.Name && br.Behavior.Kind == ir.BranchLoop
+		if !selfLoop || factor <= 1 || len(blk.Ops) == 0 {
+			out.Blocks = append(out.Blocks, blk)
+			continue
+		}
+		n := len(blk.Ops)
+		nb := &ir.Block{Name: blk.Name}
+		for k := 0; k < factor; k++ {
+			for _, op := range blk.Ops {
+				nop := ir.Op{Class: op.Class, Stream: op.Stream, IsStore: op.IsStore}
+				for _, a := range op.Args {
+					nop.Args = append(nop.Args, ir.Value(k*n+int(a)))
+				}
+				for _, c := range op.Carried {
+					if k == 0 {
+						// First iteration: the carried value comes from
+						// before the loop; it imposes no constraint here
+						// but remains carried across the unrolled body.
+						nop.Carried = append(nop.Carried, ir.Value((factor-1)*n+int(c)))
+						continue
+					}
+					nop.Args = append(nop.Args, ir.Value((k-1)*n+int(c)))
+				}
+				nb.Ops = append(nb.Ops, nop)
+			}
+		}
+		trip := br.Behavior.TripCount / factor
+		if trip < 1 {
+			trip = 1
+		}
+		nbr := &ir.Branch{Target: br.Target, Behavior: ir.Loop(trip)}
+		for _, a := range br.Args {
+			nbr.Args = append(nbr.Args, ir.Value((factor-1)*n+int(a)))
+		}
+		nb.Branch = nbr
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}

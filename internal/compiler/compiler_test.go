@@ -1,0 +1,390 @@
+package compiler
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vliwmt/internal/ir"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/program"
+)
+
+func compileOne(t *testing.T, f *ir.Function) *program.Program {
+	t.Helper()
+	p, err := Compile(f, Options{Machine: isa.Default()})
+	if err != nil {
+		t.Fatalf("Compile(%s): %v", f.Name, err)
+	}
+	return p
+}
+
+func TestSerialChainStaysLocal(t *testing.T) {
+	b := ir.NewBuilder("chain")
+	b.Block("body")
+	v := b.ALU()
+	b.Chain(v, 15)
+	b.Branch("body", ir.Loop(100))
+	p := compileOne(t, b.MustFinish())
+
+	// 16 ALU ops in a serial chain: one per cycle, plus the branch in the
+	// final cycle. No copies should appear (the chain never moves).
+	if got := p.NumInstructions(); got != 16 {
+		t.Errorf("chain compiled to %d instructions, want 16", got)
+	}
+	for _, in := range p.Blocks[0].Instrs {
+		for _, op := range in.Ops {
+			if op.Class == isa.OpCopy {
+				t.Fatalf("serial chain required an intercluster copy: %s", p.Disassemble())
+			}
+		}
+	}
+}
+
+func TestParallelOpsFillMachine(t *testing.T) {
+	b := ir.NewBuilder("wide")
+	b.Block("body")
+	for i := 0; i < 32; i++ {
+		b.ALU()
+	}
+	b.Branch("body", ir.Loop(100))
+	p := compileOne(t, b.MustFinish())
+	// 32 independent ALU ops on a 16-wide machine: 2 full cycles, plus the
+	// branch. The branch shares the last cycle only if a slot is free, so
+	// allow 2 or 3 instructions.
+	if got := p.NumInstructions(); got < 2 || got > 3 {
+		t.Errorf("32 parallel ops compiled to %d instructions: %s", got, p.Disassemble())
+	}
+	if density := p.StaticOpsPerInstr(); density < 10 {
+		t.Errorf("parallel ops density = %.2f, want > 10", density)
+	}
+}
+
+func TestLatencyGapEmitsNop(t *testing.T) {
+	b := ir.NewBuilder("gap")
+	b.Block("body")
+	v := b.Mul() // latency 2
+	b.ALU(v)     // must wait one gap cycle
+	b.Branch("body", ir.Loop(100))
+	p := compileOne(t, b.MustFinish())
+	// Cycle 0: mul. Cycle 1: nothing (gap). Cycle 2: alu + branch.
+	instrs := p.Blocks[0].Instrs
+	if len(instrs) != 3 {
+		t.Fatalf("got %d instructions, want 3: %s", len(instrs), p.Disassemble())
+	}
+	if len(instrs[1].Ops) != 0 {
+		t.Errorf("gap cycle is not a NOP: %v", instrs[1])
+	}
+}
+
+func TestBranchInFinalInstructionOnClusterZero(t *testing.T) {
+	b := ir.NewBuilder("br")
+	b.Block("body")
+	v := b.ALU()
+	b.Chain(v, 5)
+	b.Branch("body", ir.Loop(10))
+	p := compileOne(t, b.MustFinish())
+	instrs := p.Blocks[0].Instrs
+	lastOps := instrs[len(instrs)-1].Ops
+	found := false
+	for _, op := range lastOps {
+		if op.Class == isa.OpBranch {
+			found = true
+			if op.Cluster != 0 {
+				t.Errorf("branch on cluster %d, want 0", op.Cluster)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("branch not in final instruction: %s", p.Disassemble())
+	}
+	for _, in := range instrs[:len(instrs)-1] {
+		for _, op := range in.Ops {
+			if op.Class == isa.OpBranch {
+				t.Error("branch scheduled before the final instruction")
+			}
+		}
+	}
+}
+
+func TestCopiesInsertedForCrossClusterUse(t *testing.T) {
+	b := ir.NewBuilder("reduce")
+	b.Block("body")
+	// Eight independent chains (spread across clusters by load balancing),
+	// then a reduction tree consuming all of them: cross-cluster copies are
+	// unavoidable.
+	var heads []ir.Value
+	for i := 0; i < 8; i++ {
+		v := b.ALU()
+		heads = append(heads, b.Chain(v, 4))
+	}
+	for len(heads) > 1 {
+		var next []ir.Value
+		for i := 0; i+1 < len(heads); i += 2 {
+			next = append(next, b.ALU(heads[i], heads[i+1]))
+		}
+		heads = next
+	}
+	b.Branch("body", ir.Loop(100))
+	p := compileOne(t, b.MustFinish())
+	copies := 0
+	clusters := map[uint8]bool{}
+	for _, in := range p.Blocks[0].Instrs {
+		for _, op := range in.Ops {
+			clusters[op.Cluster] = true
+			if op.Class == isa.OpCopy {
+				copies++
+			}
+		}
+	}
+	if len(clusters) < 2 {
+		t.Fatalf("reduction kernel not spread across clusters: %s", p.Disassemble())
+	}
+	if copies == 0 {
+		t.Errorf("no intercluster copies inserted for a cross-cluster reduction")
+	}
+}
+
+func TestLoadBalancingSpreadsIndependentChains(t *testing.T) {
+	b := ir.NewBuilder("spread")
+	b.Block("body")
+	for i := 0; i < 8; i++ {
+		v := b.ALU()
+		b.Chain(v, 7)
+	}
+	b.Branch("body", ir.Loop(100))
+	p := compileOne(t, b.MustFinish())
+	perCluster := map[uint8]int{}
+	for _, in := range p.Blocks[0].Instrs {
+		for _, op := range in.Ops {
+			if op.Class != isa.OpBranch {
+				perCluster[op.Cluster]++
+			}
+		}
+	}
+	if len(perCluster) != 4 {
+		t.Fatalf("8 chains used %d clusters, want 4: %v", len(perCluster), perCluster)
+	}
+	for c, n := range perCluster {
+		if n < 8 || n > 24 {
+			t.Errorf("cluster %d holds %d ops; want roughly balanced (16 each)", c, n)
+		}
+	}
+}
+
+func TestMemOpsRespectUnitLimit(t *testing.T) {
+	b := ir.NewBuilder("mem")
+	s := b.Stream(ir.MemStream{Kind: ir.StreamStride, Stride: 4, Footprint: 4096})
+	b.Block("body")
+	for i := 0; i < 12; i++ {
+		b.Load(s)
+	}
+	b.Branch("body", ir.Loop(100))
+	p := compileOne(t, b.MustFinish())
+	// 12 loads, 4 load/store units machine-wide: at least 3 cycles.
+	if got := p.NumInstructions(); got < 3 {
+		t.Errorf("12 loads compiled into %d instructions, want >= 3", got)
+	}
+	m := isa.Default()
+	for _, in := range p.Blocks[0].Instrs {
+		for c := 0; c < m.Clusters; c++ {
+			if int(in.Occ.Clusters[c].Mem) > m.MemUnits {
+				t.Errorf("instruction oversubscribes load/store unit: %v", in)
+			}
+		}
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	build := func() *ir.Function {
+		b := ir.NewBuilder("det")
+		s := b.Stream(ir.MemStream{Kind: ir.StreamRandom, Footprint: 1 << 16})
+		b.Block("body")
+		for i := 0; i < 6; i++ {
+			v := b.Load(s)
+			w := b.Mul(v)
+			b.Chain(w, 3)
+		}
+		b.Branch("body", ir.Loop(50))
+		return b.MustFinish()
+	}
+	p1 := compileOne(t, build())
+	p2 := compileOne(t, build())
+	if p1.Disassemble() != p2.Disassemble() {
+		t.Error("compilation is not deterministic")
+	}
+}
+
+func TestUnrollParallelLoop(t *testing.T) {
+	build := func() *ir.Function {
+		b := ir.NewBuilder("par")
+		b.Block("body")
+		b.ALU()
+		b.ALU()
+		b.Branch("body", ir.Loop(64))
+		return b.MustFinish()
+	}
+	plain, err := Compile(build(), Options{Machine: isa.Default()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrolled, err := Compile(build(), Options{Machine: isa.Default(), Unroll: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent iterations: unrolling packs 16 ops into few cycles.
+	if unrolled.StaticOpsPerInstr() <= plain.StaticOpsPerInstr() {
+		t.Errorf("unrolling did not increase density: %.2f vs %.2f",
+			unrolled.StaticOpsPerInstr(), plain.StaticOpsPerInstr())
+	}
+	if got := unrolled.Blocks[0].Behavior.TripCount; got != 8 {
+		t.Errorf("unrolled trip count = %d, want 8", got)
+	}
+}
+
+func TestUnrollSerialLoopKeepsChain(t *testing.T) {
+	build := func() *ir.Function {
+		b := ir.NewBuilder("ser")
+		b.Block("body")
+		v0 := b.ALU()
+		last := b.Chain(v0, 3)
+		// The chain head depends on the previous iteration's tail.
+		b.Carry(v0, last)
+		b.Branch("body", ir.Loop(64))
+		return b.MustFinish()
+	}
+	unrolled, err := Compile(build(), Options{Machine: isa.Default(), Unroll: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ops per iteration x 4 iterations chained serially: the schedule
+	// must stay essentially serial (>= 16 cycles of chain).
+	if got := unrolled.NumInstructions(); got < 16 {
+		t.Errorf("carried chain scheduled in %d instructions, want >= 16 (serialised)", got)
+	}
+}
+
+func TestUnrollLeavesNonLoopsAlone(t *testing.T) {
+	b := ir.NewBuilder("two")
+	b.Block("a")
+	b.ALU()
+	b.Branch("b", ir.Bernoulli(0.5))
+	b.Block("b")
+	b.ALU()
+	b.Branch("a", ir.Always())
+	f := b.MustFinish()
+	u := Unroll(f, 8)
+	if u.NumOps() != f.NumOps() {
+		t.Errorf("Unroll changed non-loop blocks: %d ops vs %d", u.NumOps(), f.NumOps())
+	}
+}
+
+func TestCompileRejectsInvalid(t *testing.T) {
+	// Invalid machine.
+	m := isa.Default()
+	m.Clusters = 0
+	f := ir.NewBuilder("x")
+	f.Block("a")
+	f.ALU()
+	fn, _ := f.Finish()
+	if _, err := Compile(fn, Options{Machine: m}); err == nil {
+		t.Error("Compile accepted invalid machine")
+	}
+	// Invalid function.
+	bad := &ir.Function{Name: "bad"}
+	if _, err := Compile(bad, Options{Machine: isa.Default()}); err == nil {
+		t.Error("Compile accepted invalid function")
+	}
+	// Machine without multipliers cannot host multiplies.
+	m2 := isa.Default()
+	m2.Muls = 0
+	b2 := ir.NewBuilder("mul")
+	b2.Block("a")
+	b2.Mul()
+	fn2, _ := b2.Finish()
+	if _, err := Compile(fn2, Options{Machine: m2}); err == nil {
+		t.Error("Compile accepted multiply on multiplier-less machine")
+	}
+}
+
+// randomFunction builds a random DAG kernel for property testing.
+func randomFunction(r *rand.Rand) *ir.Function {
+	b := ir.NewBuilder("rand")
+	s := b.Stream(ir.MemStream{Kind: ir.StreamStride, Stride: 8, Footprint: 1 << 14})
+	nBlocks := 1 + r.Intn(3)
+	for bi := 0; bi < nBlocks; bi++ {
+		name := string(rune('a' + bi))
+		b.Block(name)
+		n := 1 + r.Intn(40)
+		var vals []ir.Value
+		for i := 0; i < n; i++ {
+			var args []ir.Value
+			for len(vals) > 0 && r.Intn(3) != 0 && len(args) < 3 {
+				args = append(args, vals[r.Intn(len(vals))])
+			}
+			var v ir.Value
+			switch r.Intn(6) {
+			case 0:
+				v = b.Mul(args...)
+			case 1:
+				v = b.Load(s, args...)
+			case 2:
+				v = b.Store(s, args...)
+			default:
+				v = b.ALU(args...)
+			}
+			vals = append(vals, v)
+		}
+		switch r.Intn(3) {
+		case 0:
+			b.Branch(name, ir.Loop(1+r.Intn(30)))
+		case 1:
+			b.Branch("a", ir.Bernoulli(r.Float64()))
+		}
+	}
+	return b.MustFinish()
+}
+
+// TestCompileRandomProperty: every random kernel compiles into a valid
+// program whose instruction stream respects machine limits and preserves
+// the operation count (modulo added copies and branches).
+func TestCompileRandomProperty(t *testing.T) {
+	m := isa.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fn := randomFunction(r)
+		p, err := Compile(fn, Options{Machine: m, Unroll: 1 + r.Intn(4)})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := p.Validate(&m); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// All source ops present: copies/branches only add.
+		if p.NumOps() < p.SourceOps {
+			t.Logf("seed %d: lost ops (%d < %d)", seed, p.NumOps(), p.SourceOps)
+			return false
+		}
+		return p.StaticOpsPerInstr() <= float64(m.TotalIssueWidth())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleMentionsBlocksAndOps(t *testing.T) {
+	b := ir.NewBuilder("dis")
+	b.Block("entry")
+	b.ALU()
+	b.Branch("entry", ir.Loop(4))
+	p := compileOne(t, b.MustFinish())
+	text := p.Disassemble()
+	for _, want := range []string{"program dis", "entry:", "alu.c", "br.c0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"vliwmt/internal/ir"
+	"vliwmt/internal/isa"
+)
+
+// schedOp is one operation being placed: IR operations, compiler-inserted
+// intercluster copies, and the block's terminating branch.
+type schedOp struct {
+	class   isa.OpClass
+	args    []int
+	stream  int
+	isStore bool
+	cluster int
+	// isBranch marks the block terminator, pinned to the final cycle.
+	isBranch bool
+	// estStart is the completion-time estimate used during cluster
+	// assignment; height is the critical-path priority; start is the
+	// final scheduled cycle.
+	estStart, height, start int
+}
+
+// assigner carries cluster-load state across the blocks of a function, as
+// BUG does: values of different blocks balance over the whole function, so
+// low-ILP code does not pile onto cluster 0.
+type assigner struct {
+	loadTotal, loadMul, loadMem []float64
+}
+
+func newAssigner(m *isa.Machine) *assigner {
+	return &assigner{
+		loadTotal: make([]float64, m.Clusters),
+		loadMul:   make([]float64, m.Clusters),
+		loadMem:   make([]float64, m.Clusters),
+	}
+}
+
+// compileBlock lowers one basic block: cluster assignment, copy insertion
+// and list scheduling, producing the cycle-by-cycle instruction sequence.
+func compileBlock(f *ir.Function, blk *ir.Block, m *isa.Machine, asn *assigner) ([]isa.Instruction, error) {
+	ops := make([]*schedOp, 0, len(blk.Ops)+4)
+	for _, op := range blk.Ops {
+		so := &schedOp{class: op.Class, stream: op.Stream, isStore: op.IsStore, cluster: -1}
+		for _, a := range op.Args {
+			so.args = append(so.args, int(a))
+		}
+		ops = append(ops, so)
+	}
+	if blk.Branch != nil {
+		so := &schedOp{class: isa.OpBranch, stream: -1, cluster: 0, isBranch: true}
+		for _, a := range blk.Branch.Args {
+			so.args = append(so.args, int(a))
+		}
+		ops = append(ops, so)
+	}
+
+	asn.assign(ops, m)
+	ops = insertCopies(ops, m)
+	computeHeights(ops, m)
+	if err := listSchedule(ops, m); err != nil {
+		return nil, err
+	}
+	return emit(ops, blk, m)
+}
+
+// assign performs BUG-style greedy assignment in topological order: each
+// operation goes to the cluster minimising its estimated start cycle,
+// accounting for intercluster copy delays from its operands and for the
+// function-wide accumulated load on each cluster's issue slots and
+// fixed-function units.
+func (asn *assigner) assign(ops []*schedOp, m *isa.Machine) {
+	loadTotal, loadMul, loadMem := asn.loadTotal, asn.loadMul, asn.loadMem
+	// Rebase the carried-over loads at each block so the *imbalance*
+	// persists across blocks while its magnitude stays commensurate with
+	// per-block schedule lengths (otherwise load would eventually dominate
+	// the dependence estimates and fragment chains).
+	for _, l := range [][]float64{loadTotal, loadMul, loadMem} {
+		min := l[0]
+		for _, v := range l[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		for c := range l {
+			l[c] -= min
+		}
+	}
+
+	for _, op := range ops {
+		if op.isBranch {
+			// Branches resolve on cluster 0.
+			op.cluster = 0
+			continue
+		}
+		bestCluster := -1
+		bestCost, bestLoad := 0.0, 0.0
+		for c := 0; c < m.Clusters; c++ {
+			if m.UnitsFor(op.class, c) == 0 {
+				continue
+			}
+			ready := 0
+			for _, a := range op.args {
+				arg := ops[a]
+				t := arg.estStart + m.Latency(arg.class)
+				if arg.cluster != c {
+					// A copy costs one issue slot plus its latency.
+					t += m.LatencyCopy + 1
+				}
+				if t > ready {
+					ready = t
+				}
+			}
+			load := loadTotal[c] / float64(m.IssueWidth)
+			switch op.class {
+			case isa.OpMul:
+				if l := loadMul[c] / float64(m.Muls); l > load {
+					load = l
+				}
+			case isa.OpMem:
+				if l := loadMem[c] / float64(m.MemUnits); l > load {
+					load = l
+				}
+			}
+			cost := float64(ready)
+			if load > cost {
+				cost = load
+			}
+			if bestCluster < 0 || cost < bestCost || (cost == bestCost && load < bestLoad) {
+				bestCluster, bestCost, bestLoad = c, cost, load
+			}
+		}
+		if bestCluster < 0 {
+			bestCluster = 0 // no suitable unit anywhere; listSchedule reports it
+		}
+		op.cluster = bestCluster
+		op.estStart = int(bestCost)
+		loadTotal[bestCluster]++
+		switch op.class {
+		case isa.OpMul:
+			loadMul[bestCluster]++
+		case isa.OpMem:
+			loadMem[bestCluster]++
+		}
+	}
+}
+
+// insertCopies materialises intercluster communication: when a consumer
+// reads a value produced on another cluster, a copy operation is issued on
+// the producing cluster (the send side of the intercluster bus) and the
+// consumer depends on the copy. One copy is shared by all consumers of the
+// same value on the same destination cluster.
+func insertCopies(ops []*schedOp, m *isa.Machine) []*schedOp {
+	type copyKey struct{ producer, dstCluster int }
+	copies := map[copyKey]int{}
+	out := ops
+	for i := range ops {
+		op := ops[i]
+		for ai, a := range op.args {
+			arg := out[a]
+			if arg.cluster == op.cluster || arg.class == isa.OpCopy {
+				continue
+			}
+			key := copyKey{a, op.cluster}
+			ci, ok := copies[key]
+			if !ok {
+				cp := &schedOp{
+					class:   isa.OpCopy,
+					args:    []int{a},
+					stream:  -1,
+					cluster: arg.cluster,
+				}
+				out = append(out, cp)
+				ci = len(out) - 1
+				copies[key] = ci
+			}
+			op.args[ai] = ci
+		}
+	}
+	return out
+}
+
+// computeHeights assigns each operation its critical-path height: the
+// operation's latency plus the longest chain through its consumers. Height
+// is the list scheduler's priority. Copies appended by insertCopies break
+// topological order, so the relaxation runs to a fixed point (copy chains
+// have depth one, so this converges in a couple of passes).
+func computeHeights(ops []*schedOp, m *isa.Machine) {
+	for _, op := range ops {
+		op.height = m.Latency(op.class)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(ops) - 1; i >= 0; i-- {
+			op := ops[i]
+			for _, a := range op.args {
+				want := op.height + m.Latency(ops[a].class)
+				if ops[a].height < want {
+					ops[a].height = want
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// resourceRow tracks one cycle's usage of one cluster.
+type resourceRow struct {
+	total, mul, mem, branch int
+}
+
+func (r *resourceRow) fits(class isa.OpClass, m *isa.Machine, cluster int) bool {
+	if r.total >= m.IssueWidth {
+		return false
+	}
+	switch class {
+	case isa.OpMul:
+		return r.mul < m.Muls
+	case isa.OpMem:
+		return r.mem < m.MemUnits
+	case isa.OpBranch:
+		return cluster < m.BranchClusters && r.branch < 1
+	}
+	return true
+}
+
+func (r *resourceRow) take(class isa.OpClass) {
+	r.total++
+	switch class {
+	case isa.OpMul:
+		r.mul++
+	case isa.OpMem:
+		r.mem++
+	case isa.OpBranch:
+		r.branch++
+	}
+}
+
+// listSchedule places operations into cycles, highest critical path first,
+// respecting data dependencies, operation latencies and per-cluster
+// resource limits. The branch is pinned to the block's final cycle.
+func listSchedule(ops []*schedOp, m *isa.Machine) error {
+	order := make([]int, 0, len(ops))
+	var branch *schedOp
+	for i, op := range ops {
+		if m.UnitsFor(op.class, op.cluster) == 0 {
+			return fmt.Errorf("no %v unit on cluster %d", op.class, op.cluster)
+		}
+		if op.isBranch {
+			branch = op
+			continue
+		}
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ops[order[a]].height > ops[order[b]].height })
+
+	rows := make([][]resourceRow, 0, 64)
+	row := func(cycle, cluster int) *resourceRow {
+		for len(rows) <= cycle {
+			rows = append(rows, make([]resourceRow, m.Clusters))
+		}
+		return &rows[cycle][cluster]
+	}
+	scheduled := make([]bool, len(ops))
+	ready := func(op *schedOp) int {
+		t := 0
+		for _, a := range op.args {
+			arg := ops[a]
+			if !scheduled[a] {
+				return -1
+			}
+			if ft := arg.start + m.Latency(arg.class); ft > t {
+				t = ft
+			}
+		}
+		return t
+	}
+
+	remaining := len(order)
+	guard := 0
+	for remaining > 0 {
+		guard++
+		if guard > 4*len(ops)+1024 {
+			return fmt.Errorf("scheduler failed to converge (%d ops left)", remaining)
+		}
+		progressed := false
+		for _, i := range order {
+			if scheduled[i] {
+				continue
+			}
+			op := ops[i]
+			t := ready(op)
+			if t < 0 {
+				continue
+			}
+			for {
+				if r := row(t, op.cluster); r.fits(op.class, m, op.cluster) {
+					r.take(op.class)
+					op.start = t
+					scheduled[i] = true
+					remaining--
+					progressed = true
+					break
+				}
+				t++
+			}
+		}
+		if !progressed && remaining > 0 {
+			return fmt.Errorf("scheduler deadlock (%d ops left)", remaining)
+		}
+	}
+
+	if branch != nil {
+		t := 0
+		for _, a := range branch.args {
+			if ft := ops[a].start + m.Latency(ops[a].class); ft > t {
+				t = ft
+			}
+		}
+		for _, op := range ops {
+			if !op.isBranch && op.start >= t {
+				t = op.start
+			}
+		}
+		for !row(t, 0).fits(isa.OpBranch, m, 0) {
+			t++
+		}
+		row(t, 0).take(isa.OpBranch)
+		branch.start = t
+	}
+	return verifySchedule(ops, m)
+}
+
+// verifySchedule is a self-check run on every compiled block: dependencies
+// and latencies respected, per-cycle resources within limits, branch in the
+// final cycle. Violations indicate a compiler bug.
+func verifySchedule(ops []*schedOp, m *isa.Machine) error {
+	last := 0
+	for _, op := range ops {
+		if op.start > last {
+			last = op.start
+		}
+	}
+	type usage = resourceRow
+	used := make(map[int]*[isa.MaxClusters]usage)
+	for i, op := range ops {
+		for _, a := range op.args {
+			arg := ops[a]
+			if arg.start+m.Latency(arg.class) > op.start {
+				return fmt.Errorf("schedule bug: op %d at cycle %d reads op %d finishing at %d",
+					i, op.start, a, arg.start+m.Latency(arg.class))
+			}
+		}
+		u, ok := used[op.start]
+		if !ok {
+			u = new([isa.MaxClusters]usage)
+			used[op.start] = u
+		}
+		r := &u[op.cluster]
+		if !r.fits(op.class, m, op.cluster) {
+			return fmt.Errorf("schedule bug: cycle %d cluster %d oversubscribed by op %d (%v)",
+				op.start, op.cluster, i, op.class)
+		}
+		r.take(op.class)
+		if op.isBranch && op.start != last {
+			return fmt.Errorf("schedule bug: branch at cycle %d, block ends at %d", op.start, last)
+		}
+	}
+	return nil
+}
+
+// emit converts the scheduled operations into one instruction per cycle,
+// including empty (NOP) instructions for latency gap cycles.
+func emit(ops []*schedOp, blk *ir.Block, m *isa.Machine) ([]isa.Instruction, error) {
+	last := 0
+	for _, op := range ops {
+		if op.start > last {
+			last = op.start
+		}
+	}
+	byCycle := make([][]isa.Op, last+1)
+	for _, op := range ops {
+		iop := isa.Op{
+			Class:   op.class,
+			Cluster: uint8(op.cluster),
+			Stream:  int16(op.stream),
+			IsStore: op.isStore,
+		}
+		byCycle[op.start] = append(byCycle[op.start], iop)
+	}
+	instrs := make([]isa.Instruction, last+1)
+	for c := range byCycle {
+		instrs[c] = isa.NewInstruction(byCycle[c])
+		if err := instrs[c].Validate(m); err != nil {
+			return nil, err
+		}
+	}
+	return instrs, nil
+}

@@ -1,0 +1,307 @@
+// Package experiments reproduces each table and figure of the paper's
+// evaluation: one driver per experiment, shared by cmd/paperfigs (full-size
+// runs), the root-level benchmark harness and the test suite (scaled-down
+// runs).
+package experiments
+
+import (
+	"fmt"
+
+	"vliwmt/internal/cache"
+	"vliwmt/internal/cost"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
+	"vliwmt/internal/program"
+	"vliwmt/internal/sim"
+	"vliwmt/internal/workload"
+)
+
+// Options scales and seeds the simulation-based experiments.
+type Options struct {
+	Machine isa.Machine
+	ICache  cache.Config
+	DCache  cache.Config
+	// InstrLimit is the per-thread instruction budget (the paper runs
+	// 100M; scaled-down runs converge long before that because the
+	// kernels are loops).
+	InstrLimit int64
+	// Timeslice is the OS scheduling quantum in cycles.
+	Timeslice int64
+	Seed      uint64
+}
+
+// DefaultOptions returns the paper's machine with a 300k-instruction
+// budget (adequate for stable IPC on the synthetic kernels). The OS
+// quantum keeps the paper's proportions: the paper slices 1M cycles
+// against a 100M-instruction budget, so scaled-down runs slice
+// InstrLimit/100 cycles (Fig4's single-context configuration must rotate
+// through all four threads many times per run, exactly as the paper's
+// multitasking setup does).
+func DefaultOptions() Options {
+	o := Options{
+		Machine:    isa.Default(),
+		ICache:     cache.DefaultConfig(),
+		DCache:     cache.DefaultConfig(),
+		InstrLimit: 300_000,
+		Seed:       1,
+	}
+	o.Timeslice = o.InstrLimit / 100
+	return o
+}
+
+// Scale adjusts the instruction budget, keeping the timeslice proportional
+// (1% of the budget, as in the paper).
+func (o Options) Scale(instrLimit int64) Options {
+	o.InstrLimit = instrLimit
+	o.Timeslice = instrLimit / 100
+	if o.Timeslice < 1000 {
+		o.Timeslice = 1000
+	}
+	return o
+}
+
+// compiled caches compiled programs per benchmark.
+type compiled map[string]*program.Program
+
+func compileAll(opts Options) (compiled, error) {
+	out := compiled{}
+	for _, b := range workload.Benchmarks() {
+		p, err := b.Compile(opts.Machine)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compile %s: %w", b.Name, err)
+		}
+		out[b.Name] = p
+	}
+	return out, nil
+}
+
+func (c compiled) tasks(names ...string) []sim.Task {
+	var ts []sim.Task
+	for _, n := range names {
+		ts = append(ts, sim.Task{Name: n, Prog: c[n]})
+	}
+	return ts
+}
+
+func (opts Options) config(contexts int, scheme string, perfect bool) sim.Config {
+	return sim.Config{
+		Machine:         opts.Machine,
+		ICache:          opts.ICache,
+		DCache:          opts.DCache,
+		PerfectMemory:   perfect,
+		Contexts:        contexts,
+		Scheme:          scheme,
+		TimesliceCycles: opts.Timeslice,
+		InstrLimit:      opts.InstrLimit,
+		Seed:            opts.Seed,
+	}
+}
+
+// Table1Row is one benchmark's measured single-thread behaviour next to
+// the paper's published values.
+type Table1Row struct {
+	Name        string
+	Class       workload.ILPClass
+	Description string
+	IPCr, IPCp  float64
+	PaperIPCr   float64
+	PaperIPCp   float64
+}
+
+// Table1 measures IPCr (real caches) and IPCp (perfect memory) for every
+// benchmark on a single-thread processor.
+func Table1(opts Options) ([]Table1Row, error) {
+	progs, err := compileAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table1Row
+	for _, b := range workload.Benchmarks() {
+		row := Table1Row{Name: b.Name, Class: b.Class, Description: b.Description,
+			PaperIPCr: b.PaperIPCr, PaperIPCp: b.PaperIPCp}
+		for _, perfect := range []bool{false, true} {
+			res, err := sim.Run(opts.config(1, "", perfect), progs.tasks(b.Name))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1 %s: %w", b.Name, err)
+			}
+			if perfect {
+				row.IPCp = res.IPC
+			} else {
+				row.IPCr = res.IPC
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runMix simulates one Table 2 mix under the given context count and
+// scheme, returning the achieved IPC.
+func runMix(opts Options, progs compiled, mix workload.Mix, contexts int, scheme string) (float64, error) {
+	res, err := sim.Run(opts.config(contexts, scheme, false), progs.tasks(mix.Members[:]...))
+	if err != nil {
+		return 0, fmt.Errorf("experiments: mix %s scheme %s: %w", mix.Name, scheme, err)
+	}
+	if res.TimedOut {
+		return 0, fmt.Errorf("experiments: mix %s scheme %s timed out", mix.Name, scheme)
+	}
+	return res.IPC, nil
+}
+
+// Figure4 holds the average SMT IPC at one, two and four hardware threads
+// over the nine workloads.
+type Figure4 struct {
+	SingleThread float64
+	TwoThread    float64
+	FourThread   float64
+}
+
+// Fig4 computes Figure 4.
+func Fig4(opts Options) (Figure4, error) {
+	progs, err := compileAll(opts)
+	if err != nil {
+		return Figure4{}, err
+	}
+	var f Figure4
+	n := 0
+	for _, mix := range workload.Mixes() {
+		one, err := runMix(opts, progs, mix, 1, "")
+		if err != nil {
+			return f, err
+		}
+		two, err := runMix(opts, progs, mix, 2, "1S")
+		if err != nil {
+			return f, err
+		}
+		four, err := runMix(opts, progs, mix, 4, "3SSS")
+		if err != nil {
+			return f, err
+		}
+		f.SingleThread += one
+		f.TwoThread += two
+		f.FourThread += four
+		n++
+	}
+	f.SingleThread /= float64(n)
+	f.TwoThread /= float64(n)
+	f.FourThread /= float64(n)
+	return f, nil
+}
+
+// Fig5 computes Figure 5 (merge control cost versus thread count).
+func Fig5(m isa.Machine) ([]cost.ControlPoint, error) {
+	return cost.ControlScaling(m, 2, 8)
+}
+
+// Figure6Row is one workload's SMT-over-CSMT performance advantage.
+type Figure6Row struct {
+	Mix         string
+	SMT, CSMT   float64
+	AdvantagePc float64
+}
+
+// Fig6 computes Figure 6: the 4-thread SMT (3SSS) advantage over 4-thread
+// CSMT (3CCC) per workload, plus the average as the final row.
+func Fig6(opts Options) ([]Figure6Row, error) {
+	progs, err := compileAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Figure6Row
+	var sum float64
+	for _, mix := range workload.Mixes() {
+		smt, err := runMix(opts, progs, mix, 4, "3SSS")
+		if err != nil {
+			return nil, err
+		}
+		csmt, err := runMix(opts, progs, mix, 4, "3CCC")
+		if err != nil {
+			return nil, err
+		}
+		adv := 100 * (smt - csmt) / csmt
+		rows = append(rows, Figure6Row{Mix: mix.Name, SMT: smt, CSMT: csmt, AdvantagePc: adv})
+		sum += adv
+	}
+	rows = append(rows, Figure6Row{Mix: "Average", AdvantagePc: sum / float64(len(workload.Mixes()))})
+	return rows, nil
+}
+
+// Fig9 computes Figure 9 (cost of the sixteen schemes).
+func Fig9(m isa.Machine) ([]cost.SchemeCost, error) {
+	return cost.PaperSchemes(m)
+}
+
+// Figure10Row is one workload's IPC under every scheme.
+type Figure10Row struct {
+	Mix string
+	// IPC maps scheme name (plus "1S") to achieved IPC.
+	IPC map[string]float64
+}
+
+// Fig10Schemes lists the schemes simulated for Figure 10 in display order.
+func Fig10Schemes() []string {
+	return []string{
+		"1S", "3CCC", "C4", "2CC", "2CS",
+		"2SC3", "2C3S", "3CCS", "3CSC", "3SCC",
+		"3CSS", "3SSC", "3SCS", "2SC", "2SS", "3SSS",
+	}
+}
+
+// Fig10 simulates every scheme on every workload. The final row holds the
+// per-scheme averages ("Average").
+func Fig10(opts Options) ([]Figure10Row, error) {
+	progs, err := compileAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	avg := Figure10Row{Mix: "Average", IPC: map[string]float64{}}
+	var rows []Figure10Row
+	for _, mix := range workload.Mixes() {
+		row := Figure10Row{Mix: mix.Name, IPC: map[string]float64{}}
+		for _, scheme := range Fig10Schemes() {
+			contexts := merge.PortsFor(scheme)
+			ipc, err := runMix(opts, progs, mix, contexts, scheme)
+			if err != nil {
+				return nil, err
+			}
+			row.IPC[scheme] = ipc
+			avg.IPC[scheme] += ipc
+		}
+		rows = append(rows, row)
+	}
+	for s := range avg.IPC {
+		avg.IPC[s] /= float64(len(workload.Mixes()))
+	}
+	return append(rows, avg), nil
+}
+
+// TradeoffPoint is one scheme in the Figures 11/12 scatter: average IPC
+// against hardware cost.
+type TradeoffPoint struct {
+	Scheme      string
+	IPC         float64
+	Transistors int
+	GateDelays  int
+}
+
+// Tradeoffs combines Figure 9 costs with Figure 10 average performance,
+// yielding the data of Figures 11 (IPC vs transistors) and 12 (IPC vs gate
+// delays). Accepts precomputed Fig10 rows to avoid re-simulation.
+func Tradeoffs(m isa.Machine, fig10 []Figure10Row) ([]TradeoffPoint, error) {
+	if len(fig10) == 0 {
+		return nil, fmt.Errorf("experiments: tradeoffs need Fig10 results")
+	}
+	avg := fig10[len(fig10)-1]
+	if avg.Mix != "Average" {
+		return nil, fmt.Errorf("experiments: last Fig10 row is %q, want Average", avg.Mix)
+	}
+	var pts []TradeoffPoint
+	for _, s := range Fig10Schemes() {
+		sc, err := cost.ForScheme(m, s)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, TradeoffPoint{Scheme: s, IPC: avg.IPC[s], Transistors: sc.Transistors, GateDelays: sc.GateDelays})
+	}
+	return pts, nil
+}

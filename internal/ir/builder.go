@@ -1,0 +1,109 @@
+package ir
+
+import (
+	"fmt"
+
+	"vliwmt/internal/isa"
+)
+
+// Builder incrementally constructs a Function. Methods panic on structural
+// misuse (a programming error in kernel definitions); the completed
+// function is still verified by Finish.
+type Builder struct {
+	fn  *Function
+	cur *Block
+}
+
+// NewBuilder starts a function with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{fn: &Function{Name: name}}
+}
+
+// Stream registers a memory address stream and returns its index.
+func (b *Builder) Stream(s MemStream) int {
+	b.fn.Streams = append(b.fn.Streams, s)
+	return len(b.fn.Streams) - 1
+}
+
+// Block starts a new basic block.
+func (b *Builder) Block(name string) *Builder {
+	b.cur = &Block{Name: name}
+	b.fn.Blocks = append(b.fn.Blocks, b.cur)
+	return b
+}
+
+func (b *Builder) add(op Op) Value {
+	if b.cur == nil {
+		panic("ir: operation added before any block")
+	}
+	b.cur.Ops = append(b.cur.Ops, op)
+	return Value(len(b.cur.Ops) - 1)
+}
+
+// ALU appends an ALU operation depending on args.
+func (b *Builder) ALU(args ...Value) Value {
+	return b.add(Op{Class: isa.OpALU, Args: args, Stream: -1})
+}
+
+// Mul appends a multiply operation.
+func (b *Builder) Mul(args ...Value) Value {
+	return b.add(Op{Class: isa.OpMul, Args: args, Stream: -1})
+}
+
+// Load appends a load from the given stream.
+func (b *Builder) Load(stream int, args ...Value) Value {
+	return b.add(Op{Class: isa.OpMem, Args: args, Stream: stream})
+}
+
+// Store appends a store to the given stream.
+func (b *Builder) Store(stream int, args ...Value) Value {
+	return b.add(Op{Class: isa.OpMem, Args: args, Stream: stream, IsStore: true})
+}
+
+// Chain appends a serial chain of n ALU operations starting from from,
+// returning the last value. Chains model dependence-limited code.
+func (b *Builder) Chain(from Value, n int) Value {
+	v := from
+	for i := 0; i < n; i++ {
+		v = b.ALU(v)
+	}
+	return v
+}
+
+// Carry marks v as depending on the previous iteration's values prev
+// (loop-carried dependencies; see ir.Op.Carried).
+func (b *Builder) Carry(v Value, prev ...Value) {
+	if b.cur == nil || int(v) >= len(b.cur.Ops) {
+		panic("ir: Carry on unknown value")
+	}
+	op := &b.cur.Ops[v]
+	op.Carried = append(op.Carried, prev...)
+}
+
+// Branch terminates the current block.
+func (b *Builder) Branch(target string, behavior BranchBehavior, args ...Value) {
+	if b.cur == nil {
+		panic("ir: branch before any block")
+	}
+	if b.cur.Branch != nil {
+		panic(fmt.Sprintf("ir: block %s already has a branch", b.cur.Name))
+	}
+	b.cur.Branch = &Branch{Target: target, Behavior: behavior, Args: args}
+}
+
+// Finish validates and returns the function.
+func (b *Builder) Finish() (*Function, error) {
+	if err := b.fn.Validate(); err != nil {
+		return nil, err
+	}
+	return b.fn, nil
+}
+
+// MustFinish is Finish for statically known-good kernels.
+func (b *Builder) MustFinish() *Function {
+	f, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

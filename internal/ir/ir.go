@@ -1,0 +1,209 @@
+// Package ir is the dataflow intermediate representation consumed by the
+// compiler. Functions are lists of basic blocks; each block is a DAG of
+// operations with explicit data dependencies. Blocks end in an optional
+// branch carrying a runtime direction behaviour (loop trip counts or
+// probabilistic directions), and memory operations reference address-stream
+// generators; both survive compilation and drive the cycle-level simulator.
+//
+// The IR deliberately omits concrete values and registers: the evaluation
+// in the paper depends only on the issue, dependence, memory and control
+// shape of the code, not on its arithmetic.
+package ir
+
+import (
+	"fmt"
+
+	"vliwmt/internal/isa"
+)
+
+// Value identifies the result of an operation within a block (its index in
+// Block.Ops).
+type Value int
+
+// Op is a single IR operation. Args must reference earlier operations in
+// the same block (blocks are DAGs in topological order by construction).
+type Op struct {
+	Class isa.OpClass
+	Args  []Value
+	// Carried lists loop-carried dependencies: values of the *previous*
+	// iteration of the block this operation depends on. Carried values may
+	// reference any operation in the block (including later ones). They
+	// constrain scheduling only when the compiler unrolls the loop, where
+	// they chain the replicated iterations together.
+	Carried []Value
+	// Stream indexes Function.Streams for memory operations (-1 for none).
+	Stream int
+	// IsStore marks memory writes.
+	IsStore bool
+}
+
+// Block is a basic block: a DAG of operations plus an optional terminating
+// branch. With a nil Branch, control falls through to the next block (the
+// last block falls through back to the first, making every function an
+// endless kernel loop for simulation purposes).
+type Block struct {
+	Name   string
+	Ops    []Op
+	Branch *Branch
+}
+
+// Branch is a control transfer ending a block. The branch occupies an issue
+// slot (class OpBranch on cluster 0) in the compiled code.
+type Branch struct {
+	// Target names the block reached when the branch is taken.
+	Target string
+	// Behavior decides the runtime direction.
+	Behavior BranchBehavior
+	// Args are data dependencies of the branch condition.
+	Args []Value
+}
+
+// BranchKind enumerates runtime branch-direction generators.
+type BranchKind uint8
+
+const (
+	// BranchLoop is taken TripCount-1 consecutive times, then falls
+	// through once (a counted loop back-edge).
+	BranchLoop BranchKind = iota
+	// BranchBernoulli is taken with probability Prob, independently.
+	BranchBernoulli
+	// BranchAlways is unconditionally taken.
+	BranchAlways
+	// BranchNever always falls through.
+	BranchNever
+)
+
+// BranchBehavior is the runtime direction model of a branch site.
+type BranchBehavior struct {
+	Kind      BranchKind
+	TripCount int     // BranchLoop
+	Prob      float64 // BranchBernoulli
+}
+
+// Loop returns a counted-loop behaviour with the given trip count.
+func Loop(trip int) BranchBehavior { return BranchBehavior{Kind: BranchLoop, TripCount: trip} }
+
+// Bernoulli returns a probabilistic behaviour taken with probability p.
+func Bernoulli(p float64) BranchBehavior { return BranchBehavior{Kind: BranchBernoulli, Prob: p} }
+
+// Always returns an unconditionally taken behaviour.
+func Always() BranchBehavior { return BranchBehavior{Kind: BranchAlways} }
+
+// Never returns an unconditionally not-taken behaviour.
+func Never() BranchBehavior { return BranchBehavior{Kind: BranchNever} }
+
+// StreamKind enumerates address-stream generators for memory operations.
+type StreamKind uint8
+
+const (
+	// StreamStride walks Base, Base+Stride, ... wrapping within Footprint.
+	StreamStride StreamKind = iota
+	// StreamRandom draws uniformly within [Base, Base+Footprint).
+	StreamRandom
+	// StreamChase emulates pointer chasing: the next address depends on
+	// the previous one (uniform within the footprint, serialised).
+	StreamChase
+)
+
+// MemStream describes the address behaviour of one memory reference site.
+type MemStream struct {
+	Kind      StreamKind
+	Base      uint64
+	Stride    int64
+	Footprint uint64 // bytes; addresses stay within [Base, Base+Footprint)
+}
+
+// Function is a compilable IR unit.
+type Function struct {
+	Name    string
+	Blocks  []*Block
+	Streams []MemStream
+}
+
+// BlockIndex returns the index of the named block, or -1.
+func (f *Function) BlockIndex(name string) int {
+	for i, b := range f.Blocks {
+		if b.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumOps returns the total number of operations across all blocks.
+func (f *Function) NumOps() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// Validate checks structural well-formedness: topological argument order,
+// valid stream references, resolvable branch targets and sane behaviours.
+func (f *Function) Validate() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	names := map[string]bool{}
+	for _, b := range f.Blocks {
+		if b.Name == "" {
+			return fmt.Errorf("ir: function %s has an unnamed block", f.Name)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("ir: duplicate block name %q in %s", b.Name, f.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, b := range f.Blocks {
+		for i, op := range b.Ops {
+			for _, a := range op.Args {
+				if a < 0 || int(a) >= i {
+					return fmt.Errorf("ir: %s.%s op %d argument %d is not an earlier op", f.Name, b.Name, i, a)
+				}
+			}
+			for _, a := range op.Carried {
+				if a < 0 || int(a) >= len(b.Ops) {
+					return fmt.Errorf("ir: %s.%s op %d carried argument %d out of range", f.Name, b.Name, i, a)
+				}
+			}
+			if op.Class == isa.OpMem {
+				if op.Stream < 0 || op.Stream >= len(f.Streams) {
+					return fmt.Errorf("ir: %s.%s op %d references stream %d of %d", f.Name, b.Name, i, op.Stream, len(f.Streams))
+				}
+			}
+			if op.Class == isa.OpBranch {
+				return fmt.Errorf("ir: %s.%s op %d: branches belong in Block.Branch, not Ops", f.Name, b.Name, i)
+			}
+			if op.Class == isa.OpCopy {
+				return fmt.Errorf("ir: %s.%s op %d: copies are inserted by the compiler", f.Name, b.Name, i)
+			}
+		}
+		if br := b.Branch; br != nil {
+			if !names[br.Target] {
+				return fmt.Errorf("ir: %s.%s branches to unknown block %q", f.Name, b.Name, br.Target)
+			}
+			for _, a := range br.Args {
+				if a < 0 || int(a) >= len(b.Ops) {
+					return fmt.Errorf("ir: %s.%s branch argument %d out of range", f.Name, b.Name, a)
+				}
+			}
+			switch br.Behavior.Kind {
+			case BranchLoop:
+				if br.Behavior.TripCount < 1 {
+					return fmt.Errorf("ir: %s.%s loop trip count %d", f.Name, b.Name, br.Behavior.TripCount)
+				}
+			case BranchBernoulli:
+				if br.Behavior.Prob < 0 || br.Behavior.Prob > 1 {
+					return fmt.Errorf("ir: %s.%s branch probability %g", f.Name, b.Name, br.Behavior.Prob)
+				}
+			}
+		}
+	}
+	for i, s := range f.Streams {
+		if s.Footprint < 64 {
+			return fmt.Errorf("ir: %s stream %d footprint %d is below the 64-byte minimum", f.Name, i, s.Footprint)
+		}
+	}
+	return nil
+}

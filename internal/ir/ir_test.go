@@ -1,0 +1,157 @@
+package ir
+
+import (
+	"testing"
+
+	"vliwmt/internal/isa"
+)
+
+func validFunction() *Builder {
+	b := NewBuilder("k")
+	s := b.Stream(MemStream{Kind: StreamStride, Stride: 4, Footprint: 1024})
+	b.Block("body")
+	v := b.Load(s)
+	w := b.ALU(v)
+	x := b.Mul(w, v)
+	b.Store(s, x)
+	b.Branch("body", Loop(16))
+	return b
+}
+
+func TestBuilderProducesValidFunction(t *testing.T) {
+	f, err := validFunction().Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if f.NumOps() != 4 {
+		t.Errorf("NumOps = %d, want 4", f.NumOps())
+	}
+	if f.BlockIndex("body") != 0 {
+		t.Errorf("BlockIndex(body) = %d", f.BlockIndex("body"))
+	}
+	if f.BlockIndex("missing") != -1 {
+		t.Errorf("BlockIndex(missing) should be -1")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() *Function
+	}{
+		{"no blocks", func() *Function { return &Function{Name: "x"} }},
+		{"unnamed block", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{}}}
+		}},
+		{"duplicate block", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a"}, {Name: "a"}}}
+		}},
+		{"forward arg", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a", Ops: []Op{
+				{Class: isa.OpALU, Args: []Value{0}, Stream: -1},
+			}}}}
+		}},
+		{"self arg", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a", Ops: []Op{
+				{Class: isa.OpALU, Stream: -1},
+				{Class: isa.OpALU, Args: []Value{1}, Stream: -1},
+			}}}}
+		}},
+		{"bad stream", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a", Ops: []Op{
+				{Class: isa.OpMem, Stream: 0},
+			}}}}
+		}},
+		{"branch op in body", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a", Ops: []Op{
+				{Class: isa.OpBranch, Stream: -1},
+			}}}}
+		}},
+		{"copy op in body", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a", Ops: []Op{
+				{Class: isa.OpCopy, Stream: -1},
+			}}}}
+		}},
+		{"unknown branch target", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a", Branch: &Branch{Target: "zz"}}}}
+		}},
+		{"branch arg out of range", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a",
+				Branch: &Branch{Target: "a", Behavior: Always(), Args: []Value{3}}}}}
+		}},
+		{"zero trip count", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a",
+				Branch: &Branch{Target: "a", Behavior: Loop(0)}}}}
+		}},
+		{"bad probability", func() *Function {
+			return &Function{Name: "x", Blocks: []*Block{{Name: "a",
+				Branch: &Branch{Target: "a", Behavior: Bernoulli(1.5)}}}}
+		}},
+		{"zero footprint stream", func() *Function {
+			return &Function{Name: "x", Streams: []MemStream{{}},
+				Blocks: []*Block{{Name: "a"}}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.fn().Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestChainBuildsSerialDependence(t *testing.T) {
+	b := NewBuilder("c")
+	b.Block("a")
+	v0 := b.ALU()
+	last := b.Chain(v0, 5)
+	if last != Value(5) {
+		t.Errorf("Chain end = %d, want 5", last)
+	}
+	f := b.MustFinish()
+	ops := f.Blocks[0].Ops
+	for i := 1; i <= 5; i++ {
+		if len(ops[i].Args) != 1 || ops[i].Args[0] != Value(i-1) {
+			t.Errorf("chain op %d args = %v", i, ops[i].Args)
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("op before block", func() { NewBuilder("x").ALU() })
+	expectPanic("branch before block", func() { NewBuilder("x").Branch("a", Always()) })
+	expectPanic("double branch", func() {
+		b := NewBuilder("x")
+		b.Block("a")
+		b.Branch("a", Always())
+		b.Branch("a", Always())
+	})
+	expectPanic("MustFinish invalid", func() {
+		b := NewBuilder("x")
+		_ = b.MustFinish() // no blocks
+	})
+}
+
+func TestBehaviorConstructors(t *testing.T) {
+	if l := Loop(8); l.Kind != BranchLoop || l.TripCount != 8 {
+		t.Errorf("Loop(8) = %+v", l)
+	}
+	if p := Bernoulli(0.25); p.Kind != BranchBernoulli || p.Prob != 0.25 {
+		t.Errorf("Bernoulli(0.25) = %+v", p)
+	}
+	if a := Always(); a.Kind != BranchAlways {
+		t.Errorf("Always() = %+v", a)
+	}
+	if n := Never(); n.Kind != BranchNever {
+		t.Errorf("Never() = %+v", n)
+	}
+}

@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary encoding of instructions, used by cmd/vliwasm and by tests that
+// round-trip compiled code. The format is deliberately simple:
+//
+//	header word: 0x56 'V' | opCount<<8 | reserved
+//	per op:      class | cluster<<4 | flags<<8 | stream<<16 (little endian)
+//
+// The format is stable within this repository only.
+
+const headerMagic = 0x56
+
+var errTruncated = errors.New("isa: truncated instruction encoding")
+
+// AppendEncoded appends the binary encoding of in to dst and returns the
+// extended slice.
+func AppendEncoded(dst []byte, in Instruction) []byte {
+	var hdr [4]byte
+	hdr[0] = headerMagic
+	hdr[1] = uint8(len(in.Ops))
+	dst = append(dst, hdr[:]...)
+	for _, op := range in.Ops {
+		var w uint32
+		w = uint32(op.Class) & 0xf
+		w |= uint32(op.Cluster) << 4
+		if op.IsStore {
+			w |= 1 << 8
+		}
+		w |= uint32(uint16(op.Stream)) << 16
+		dst = binary.LittleEndian.AppendUint32(dst, w)
+	}
+	return dst
+}
+
+// Decode parses one instruction from src, returning the instruction and the
+// number of bytes consumed.
+func Decode(src []byte) (Instruction, int, error) {
+	if len(src) < 4 {
+		return Instruction{}, 0, errTruncated
+	}
+	if src[0] != headerMagic {
+		return Instruction{}, 0, fmt.Errorf("isa: bad instruction magic %#x", src[0])
+	}
+	n := int(src[1])
+	need := 4 + 4*n
+	if len(src) < need {
+		return Instruction{}, 0, errTruncated
+	}
+	ops := make([]Op, n)
+	for i := 0; i < n; i++ {
+		w := binary.LittleEndian.Uint32(src[4+4*i:])
+		ops[i] = Op{
+			Class:   OpClass(w & 0xf),
+			Cluster: uint8((w >> 4) & 0xf),
+			IsStore: w&(1<<8) != 0,
+			Stream:  int16(uint16(w >> 16)),
+		}
+		if ops[i].Class >= NumOpClasses {
+			return Instruction{}, 0, fmt.Errorf("isa: bad operation class %d", ops[i].Class)
+		}
+	}
+	return NewInstruction(ops), need, nil
+}

@@ -1,0 +1,89 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := NewInstruction([]Op{
+		{Class: OpALU, Cluster: 0},
+		{Class: OpMem, Cluster: 2, Stream: 7, IsStore: true},
+		{Class: OpBranch, Cluster: 0, Stream: 3},
+		{Class: OpMul, Cluster: 1},
+	})
+	buf := AppendEncoded(nil, in)
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d bytes", n, len(buf))
+	}
+	if len(got.Ops) != len(in.Ops) {
+		t.Fatalf("op count %d, want %d", len(got.Ops), len(in.Ops))
+	}
+	for i := range got.Ops {
+		if got.Ops[i] != in.Ops[i] {
+			t.Errorf("op %d = %+v, want %+v", i, got.Ops[i], in.Ops[i])
+		}
+	}
+	if got.Occ != in.Occ {
+		t.Errorf("occupancy mismatch after round trip")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if _, _, err := Decode([]byte{0x00, 0x01, 0x02, 0x03}); err == nil {
+		t.Error("Decode with bad magic succeeded")
+	}
+	// Header promises one op but payload is missing.
+	if _, _, err := Decode([]byte{headerMagic, 1, 0, 0}); err == nil {
+		t.Error("Decode of truncated payload succeeded")
+	}
+	// Bad op class.
+	buf := []byte{headerMagic, 1, 0, 0, 0x0f, 0, 0, 0}
+	if _, _, err := Decode(buf); err == nil {
+		t.Error("Decode of bad op class succeeded")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	m := Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		occ := randomOccupancy(r, &m)
+		_ = occ
+		var ops []Op
+		n := r.Intn(8)
+		for i := 0; i < n; i++ {
+			ops = append(ops, Op{
+				Class:   OpClass(r.Intn(int(NumOpClasses))),
+				Cluster: uint8(r.Intn(m.Clusters)),
+				Stream:  int16(r.Intn(100) - 1),
+				IsStore: r.Intn(2) == 0,
+			})
+		}
+		in := NewInstruction(ops)
+		got, used, err := Decode(AppendEncoded(nil, in))
+		if err != nil || used != in.EncodedSize() {
+			return false
+		}
+		if len(got.Ops) != len(in.Ops) {
+			return false
+		}
+		for i := range got.Ops {
+			if got.Ops[i] != in.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

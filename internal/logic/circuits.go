@@ -1,0 +1,480 @@
+package logic
+
+import (
+	"fmt"
+
+	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
+)
+
+// The merge-control circuits operate on per-thread decode summaries
+// presented in thermometer code: for each cluster, bit k of the "total"
+// field means "at least k+1 operations on this cluster" (likewise for
+// multiplier and load/store unit usage; branches are single bits).
+// Thermometer coding keeps resource checks and routing generation in plain
+// AND/OR logic: two packets conflict on a W-wide cluster exactly when
+// a >= i and b >= W+1-i for some i.
+
+// packet is the circuit-level occupancy summary of a thread or of a merged
+// sub-packet flowing through the scheme tree.
+type packet struct {
+	present Signal
+	total   [][]Signal // [cluster][IssueWidth] thermometer
+	mul     [][]Signal // [cluster][Muls] thermometer
+	mem     [][]Signal // [cluster][MemUnits] thermometer
+	br      []Signal   // [cluster], meaningful on branch clusters only
+}
+
+func emptyPacket(b *Builder, m *isa.Machine) *packet {
+	p := &packet{present: b.Const(false)}
+	f := b.Const(false)
+	for c := 0; c < m.Clusters; c++ {
+		p.total = append(p.total, constRow(f, m.IssueWidth))
+		p.mul = append(p.mul, constRow(f, m.Muls))
+		p.mem = append(p.mem, constRow(f, m.MemUnits))
+		p.br = append(p.br, f)
+	}
+	return p
+}
+
+func constRow(f Signal, n int) []Signal {
+	row := make([]Signal, n)
+	for i := range row {
+		row[i] = f
+	}
+	return row
+}
+
+// threadInputs declares the decode-summary inputs of one thread port.
+// Input declaration order is the contract used by Circuit.Evaluate.
+func threadInputs(b *Builder, m *isa.Machine, port int) *packet {
+	p := &packet{present: b.Input(fmt.Sprintf("p%d.present", port))}
+	for c := 0; c < m.Clusters; c++ {
+		var tot, mul, mem []Signal
+		for k := 0; k < m.IssueWidth; k++ {
+			tot = append(tot, b.Input(fmt.Sprintf("p%d.c%d.t%d", port, c, k+1)))
+		}
+		for k := 0; k < m.Muls; k++ {
+			mul = append(mul, b.Input(fmt.Sprintf("p%d.c%d.m%d", port, c, k+1)))
+		}
+		for k := 0; k < m.MemUnits; k++ {
+			mem = append(mem, b.Input(fmt.Sprintf("p%d.c%d.l%d", port, c, k+1)))
+		}
+		p.total = append(p.total, tot)
+		p.mul = append(p.mul, mul)
+		p.mem = append(p.mem, mem)
+		if c < m.BranchClusters {
+			p.br = append(p.br, b.Input(fmt.Sprintf("p%d.c%d.b", port, c)))
+		} else {
+			p.br = append(p.br, b.Const(false))
+		}
+	}
+	return p
+}
+
+// csmtConflict: cluster-level conflict — both packets use some cluster.
+func csmtConflict(b *Builder, m *isa.Machine, a, x *packet) Signal {
+	var terms []Signal
+	for c := 0; c < m.Clusters; c++ {
+		terms = append(terms, b.And(a.total[c][0], x.total[c][0]))
+	}
+	return b.Or(terms...)
+}
+
+// thermToBinary converts a thermometer code into a binary count
+// (LSB first). Used at the interface of the SMT merge control, which —
+// following the adder-based designs of the paper's reference [7] — checks
+// resource collisions and computes routing indices in binary arithmetic.
+func thermToBinary(b *Builder, t []Signal) []Signal {
+	var bits []Signal
+	for w := 1; w <= len(t); w <<= 1 {
+		var terms []Signal
+		// Bit k of the count is set for count values with that bit set:
+		// v in [w, 2w), [3w, 4w), ...
+		for lo := w; lo <= len(t); lo += 2 * w {
+			hi := lo + w // first value beyond the run
+			if hi <= len(t) {
+				terms = append(terms, b.And(t[lo-1], b.Not(t[hi-1])))
+			} else {
+				terms = append(terms, t[lo-1])
+			}
+		}
+		bits = append(bits, b.Or(terms...))
+	}
+	return bits
+}
+
+// fullAdd is a gate-level full adder (no XOR cells in the library: sum is
+// a two-level AND/OR form, as in static CMOS standard cells).
+func fullAdd(b *Builder, x, y, c Signal) (sum, carry Signal) {
+	nx, ny, nc := b.Not(x), b.Not(y), b.Not(c)
+	sum = b.Or(
+		b.And(x, ny, nc),
+		b.And(nx, y, nc),
+		b.And(nx, ny, c),
+		b.And(x, y, c),
+	)
+	carry = b.Or(b.And(x, y), b.And(x, c), b.And(y, c))
+	return sum, carry
+}
+
+// rippleAdd adds two equal-width binary numbers, returning width+1 bits.
+func rippleAdd(b *Builder, x, y []Signal) []Signal {
+	carry := b.Const(false)
+	out := make([]Signal, 0, len(x)+1)
+	for i := range x {
+		var s Signal
+		s, carry = fullAdd(b, x[i], y[i], carry)
+		out = append(out, s)
+	}
+	return append(out, carry)
+}
+
+// addConst adds a small constant to a binary number (width+1 bits out).
+func addConst(b *Builder, x []Signal, k int) []Signal {
+	y := make([]Signal, len(x))
+	for i := range y {
+		y[i] = b.Const(k&(1<<uint(i)) != 0)
+	}
+	return rippleAdd(b, x, y)
+}
+
+// binaryEq builds "binary x == k" for a constant k.
+func binaryEq(b *Builder, x []Signal, k int) Signal {
+	cond := make([]Signal, len(x))
+	for i := range x {
+		if k&(1<<uint(i)) != 0 {
+			cond[i] = x[i]
+		} else {
+			cond[i] = b.Not(x[i])
+		}
+	}
+	return b.And(cond...)
+}
+
+// unitOverflow: thermometer-coded check that the combined use of a
+// width-limited unit class exceeds its capacity: sum > width iff
+// a >= i && b >= width+1-i for some i in 1..width. One AND level plus an
+// OR tree — the *selection* path of the SMT merge control is shallow,
+// which is what lets schemes like 3SCC overlap the (much deeper) routing
+// computation with their CSMT levels, as the paper observes.
+func unitOverflow(b *Builder, aT, bT []Signal) []Signal {
+	w := len(aT)
+	var terms []Signal
+	for i := 1; i <= w; i++ {
+		terms = append(terms, b.And(aT[i-1], bT[w-i]))
+	}
+	return terms
+}
+
+// smtConflict: operation-level conflict — some cluster's issue width,
+// multipliers, load/store unit or branch unit oversubscribed.
+func smtConflict(b *Builder, m *isa.Machine, a, x *packet) Signal {
+	var terms []Signal
+	for c := 0; c < m.Clusters; c++ {
+		terms = append(terms, unitOverflow(b, a.total[c], x.total[c])...)
+		terms = append(terms, unitOverflow(b, a.mul[c], x.mul[c])...)
+		terms = append(terms, unitOverflow(b, a.mem[c], x.mem[c])...)
+		if c < m.BranchClusters {
+			terms = append(terms, b.And(a.br[c], x.br[c]))
+		}
+	}
+	return b.Or(terms...)
+}
+
+// thermAdd: thermometer sum r >= n iff a >= n, or b' >= n, or
+// a >= j && b' >= n-j for some split j.
+func thermAdd(b *Builder, aT, bT []Signal, sel Signal) []Signal {
+	w := len(aT)
+	out := make([]Signal, w)
+	gated := make([]Signal, w)
+	for k := range bT {
+		gated[k] = b.And(sel, bT[k])
+	}
+	for n := 1; n <= w; n++ {
+		terms := []Signal{aT[n-1], gated[n-1]}
+		for j := 1; j < n; j++ {
+			terms = append(terms, b.And(aT[j-1], gated[n-j-1]))
+		}
+		out[n-1] = b.Or(terms...)
+	}
+	return out
+}
+
+// orMerge: cluster-disjoint union (CSMT): bits OR together under sel.
+func orMerge(b *Builder, aT, bT []Signal, sel Signal) []Signal {
+	out := make([]Signal, len(aT))
+	for k := range aT {
+		out[k] = b.Or(aT[k], b.And(sel, bT[k]))
+	}
+	return out
+}
+
+// mergePacket combines acc with x (gated by sel) under the node kind.
+func mergePacket(b *Builder, m *isa.Machine, kind merge.Kind, acc, x *packet, sel Signal) *packet {
+	r := &packet{present: b.Or(acc.present, sel)}
+	for c := 0; c < m.Clusters; c++ {
+		if kind == merge.CSMT {
+			r.total = append(r.total, orMerge(b, acc.total[c], x.total[c], sel))
+			r.mul = append(r.mul, orMerge(b, acc.mul[c], x.mul[c], sel))
+			r.mem = append(r.mem, orMerge(b, acc.mem[c], x.mem[c], sel))
+		} else {
+			r.total = append(r.total, thermAdd(b, acc.total[c], x.total[c], sel))
+			r.mul = append(r.mul, thermAdd(b, acc.mul[c], x.mul[c], sel))
+			r.mem = append(r.mem, thermAdd(b, acc.mem[c], x.mem[c], sel))
+		}
+		r.br = append(r.br, b.Or(acc.br[c], b.And(sel, x.br[c])))
+	}
+	return r
+}
+
+// smtRouting generates the routing-control signals for merging packet x
+// behind acc: x's j-th operation on cluster c lands in slot count(acc)+j.
+// A constant-offset adder computes each destination index from the binary
+// operation count of acc, and a decoder raises the one-hot (destination
+// slot, source op) crossbar select. These signals are the bulk of the SMT
+// merge control's cost and have no CSMT counterpart (cluster muxes take
+// the issue selects directly). Validity gating against the final thread
+// selection happens inside the routing block, whose cost the paper
+// excludes as common to all multithreading schemes.
+func smtRouting(b *Builder, m *isa.Machine, acc, x *packet, sel Signal) []Signal {
+	var routes []Signal
+	for c := 0; c < m.Clusters; c++ {
+		w := m.IssueWidth
+		cnt := thermToBinary(b, acc.total[c])
+		for j := 0; j < w; j++ {
+			dst := addConst(b, cnt, j)
+			for s := j; s < w; s++ {
+				routes = append(routes, b.And(sel, x.total[c][j], binaryEq(b, dst, s)))
+			}
+		}
+	}
+	return routes
+}
+
+// nodeResult carries a subtree's circuit products up the scheme tree.
+type nodeResult struct {
+	pkt      *packet
+	kind     merge.Kind
+	childSel []Signal      // per input: selected at this node (pre-acceptance)
+	children []*nodeResult // per input: subtree result (nil for leaf)
+	leafPort []int         // per input: port index (-1 for subtree)
+	routes   [][]Signal    // per input: SMT routing controls
+}
+
+// buildNode lowers one merge node (and its subtree) to circuitry.
+func buildNode(b *Builder, m *isa.Machine, n *merge.Node, leaves []*packet) *nodeResult {
+	res := &nodeResult{kind: n.Kind}
+	var pkts []*packet
+	for _, in := range n.Inputs {
+		if in.Node != nil {
+			child := buildNode(b, m, in.Node, leaves)
+			res.children = append(res.children, child)
+			res.leafPort = append(res.leafPort, -1)
+			pkts = append(pkts, child.pkt)
+		} else {
+			res.children = append(res.children, nil)
+			res.leafPort = append(res.leafPort, in.Port)
+			pkts = append(pkts, leaves[in.Port])
+		}
+	}
+	if n.Parallel && n.Kind == merge.CSMT {
+		res.childSel = parallelCSMTSelect(b, m, pkts)
+	} else {
+		res.childSel = make([]Signal, len(pkts))
+	}
+
+	acc := emptyPacket(b, m)
+	for k, x := range pkts {
+		var sel Signal
+		if n.Parallel && n.Kind == merge.CSMT {
+			sel = res.childSel[k]
+		} else {
+			var conflict Signal
+			if n.Kind == merge.CSMT {
+				conflict = csmtConflict(b, m, acc, x)
+			} else {
+				conflict = smtConflict(b, m, acc, x)
+			}
+			sel = b.And(x.present, b.Not(conflict))
+			res.childSel[k] = sel
+		}
+		if n.Kind == merge.SMT {
+			res.routes = append(res.routes, smtRouting(b, m, acc, x, sel))
+		} else {
+			// CSMT needs no routing: the per-cluster N-to-1 muxes take
+			// the issue selects directly (their cost is common to every
+			// multithreading scheme and excluded, as in the paper).
+			res.routes = append(res.routes, nil)
+		}
+		acc = mergePacket(b, m, n.Kind, acc, x, sel)
+	}
+	res.pkt = acc
+	return res
+}
+
+// parallelCSMTSelect implements the parallel CSMT merge control: all
+// 2^n candidate selections are checked at once and the one the greedy
+// serial cascade would pick is identified. Functionally equivalent to the
+// serial form; exponentially more hardware (the paper's Figure 5).
+func parallelCSMTSelect(b *Builder, m *isa.Machine, pkts []*packet) []Signal {
+	n := len(pkts)
+	// Pairwise cluster conflicts.
+	conf := make([][]Signal, n)
+	for i := range conf {
+		conf[i] = make([]Signal, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := csmtConflict(b, m, pkts[i], pkts[j])
+			conf[i][j], conf[j][i] = c, c
+		}
+	}
+	// chosen(S): S is exactly the greedy selection. For each thread i,
+	// the greedy rule admits i iff it is present and conflict-free with
+	// the already-selected lower-priority prefix of S.
+	selTerms := make([][]Signal, n)
+	for set := 0; set < 1<<uint(n); set++ {
+		var cond []Signal
+		valid := true
+		for i := 0; i < n && valid; i++ {
+			var prefixConf []Signal
+			for j := 0; j < i; j++ {
+				if set&(1<<uint(j)) != 0 {
+					prefixConf = append(prefixConf, conf[i][j])
+				}
+			}
+			admit := b.And(pkts[i].present, b.Not(b.Or(prefixConf...)))
+			if set&(1<<uint(i)) != 0 {
+				cond = append(cond, admit)
+			} else {
+				cond = append(cond, b.Not(admit))
+			}
+		}
+		chosen := b.And(cond...)
+		for i := 0; i < n; i++ {
+			if set&(1<<uint(i)) != 0 {
+				selTerms[i] = append(selTerms[i], chosen)
+			}
+		}
+	}
+	sels := make([]Signal, n)
+	for i := range sels {
+		sels[i] = b.Or(selTerms[i]...)
+	}
+	return sels
+}
+
+// Circuit is a complete merge-control netlist for one scheme, with the
+// machinery to evaluate it against behavioural candidates.
+type Circuit struct {
+	Net    *Netlist
+	Scheme string
+
+	machine isa.Machine
+	ports   int
+	selIdx  []int // output indices of the per-port select signals
+}
+
+// BuildScheme generates the thread-merge-control circuit of the scheme on
+// machine m. Outputs are the final per-port issue selects, the SMT routing
+// controls and the CSMT cluster grants, each gated by the acceptance of
+// their sub-packet along the whole tree (a dropped sub-packet must not
+// route or issue anything).
+func BuildScheme(m *isa.Machine, tree *merge.Tree) (*Circuit, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder()
+	ports := tree.Ports()
+	leaves := make([]*packet, ports)
+	for p := 0; p < ports; p++ {
+		leaves[p] = threadInputs(b, m, p)
+	}
+	root := buildNode(b, m, tree.Root(), leaves)
+
+	finalSel := make([]Signal, ports)
+	outID := 0
+	var gate func(res *nodeResult, accept Signal)
+	gate = func(res *nodeResult, accept Signal) {
+		for k := range res.childSel {
+			acceptK := b.And(accept, res.childSel[k])
+			for _, r := range res.routes[k] {
+				// Routing signals are emitted ungated: the routing block
+				// combines them with the issue selects.
+				b.Output(fmt.Sprintf("route%d", outID), r)
+				outID++
+			}
+			if port := res.leafPort[k]; port >= 0 {
+				finalSel[port] = acceptK
+			} else {
+				gate(res.children[k], acceptK)
+			}
+		}
+	}
+	gate(root, b.Const(true))
+
+	c := &Circuit{Scheme: tree.Name(), machine: *m, ports: ports}
+	for p := 0; p < ports; p++ {
+		c.selIdx = append(c.selIdx, outID)
+		b.Output(fmt.Sprintf("sel%d", p), finalSel[p])
+		outID++
+	}
+	c.Net = b.Build()
+	return c, nil
+}
+
+// Ports returns the number of thread ports.
+func (c *Circuit) Ports() int { return c.ports }
+
+// Cost returns transistor count and gate-delay depth of the live circuit.
+func (c *Circuit) Cost() (transistors, delay int) { return c.Net.Cost() }
+
+// Evaluate feeds the candidate occupancies (nil = thread stalled) into the
+// circuit and returns the selected-port mask, for equivalence checking
+// against merge.Tree.Select.
+func (c *Circuit) Evaluate(cands []*isa.Occupancy) (uint32, error) {
+	if len(cands) != c.ports {
+		return 0, fmt.Errorf("logic: %d candidates for %d ports", len(cands), c.ports)
+	}
+	var in []bool
+	for p := 0; p < c.ports; p++ {
+		in = appendOccupancyBits(in, &c.machine, cands[p])
+	}
+	out, err := c.Net.Eval(in)
+	if err != nil {
+		return 0, err
+	}
+	var mask uint32
+	for p, idx := range c.selIdx {
+		if out[idx] {
+			mask |= 1 << uint(p)
+		}
+	}
+	return mask, nil
+}
+
+// appendOccupancyBits encodes occ in the input order declared by
+// threadInputs.
+func appendOccupancyBits(in []bool, m *isa.Machine, occ *isa.Occupancy) []bool {
+	present := occ != nil
+	in = append(in, present)
+	therm := func(v, w int) {
+		for k := 1; k <= w; k++ {
+			in = append(in, present && v >= k)
+		}
+	}
+	for c := 0; c < m.Clusters; c++ {
+		var u isa.ClusterUse
+		if present {
+			u = occ.Clusters[c]
+		}
+		therm(int(u.Total), m.IssueWidth)
+		therm(int(u.Mul), m.Muls)
+		therm(int(u.Mem), m.MemUnits)
+		if c < m.BranchClusters {
+			in = append(in, present && u.Branch > 0)
+		}
+	}
+	return in
+}

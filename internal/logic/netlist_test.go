@@ -1,0 +1,169 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicGatesEval(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("and", b.And(x, y))
+	b.Output("or", b.Or(x, y))
+	b.Output("notx", b.Not(x))
+	n := b.Build()
+	cases := []struct {
+		in   []bool
+		want []bool
+	}{
+		{[]bool{false, false}, []bool{false, false, true}},
+		{[]bool{true, false}, []bool{false, true, false}},
+		{[]bool{false, true}, []bool{false, true, true}},
+		{[]bool{true, true}, []bool{true, true, false}},
+	}
+	for _, tc := range cases {
+		got, err := n.Eval(tc.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("in %v out %d = %v, want %v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	// AND with constant true is x itself; with false it is constant.
+	if got := b.And(x, b.Const(true)); got != x {
+		t.Error("And(x, 1) did not fold to x")
+	}
+	if got := b.And(x, b.Const(false)); got != b.Const(false) {
+		t.Error("And(x, 0) did not fold to 0")
+	}
+	if got := b.Or(x, b.Const(false)); got != x {
+		t.Error("Or(x, 0) did not fold to x")
+	}
+	if got := b.Or(x, b.Const(true)); got != b.Const(true) {
+		t.Error("Or(x, 1) did not fold to 1")
+	}
+	if got := b.Not(b.Not(x)); got != x {
+		t.Error("double negation did not fold")
+	}
+	if got := b.Not(b.Const(true)); got != b.Const(false) {
+		t.Error("Not(1) did not fold")
+	}
+	if got := b.And(); got != b.Const(true) {
+		t.Error("empty And is not 1")
+	}
+	if got := b.Or(); got != b.Const(false) {
+		t.Error("empty Or is not 0")
+	}
+}
+
+func TestWideGateDecomposition(t *testing.T) {
+	b := NewBuilder()
+	var xs []Signal
+	for i := 0; i < 13; i++ {
+		xs = append(xs, b.Input("x"))
+	}
+	b.Output("wide", b.And(xs...))
+	n := b.Build()
+	// All true -> true; one false -> false.
+	in := make([]bool, 13)
+	for i := range in {
+		in[i] = true
+	}
+	if out, _ := n.Eval(in); !out[0] {
+		t.Error("13-wide AND of ones is false")
+	}
+	in[7] = false
+	if out, _ := n.Eval(in); out[0] {
+		t.Error("13-wide AND with a zero is true")
+	}
+	// Depth must reflect the tree: ceil(log4(13)) = 2 AND levels.
+	_, delay := n.Cost()
+	if delay != 2 {
+		t.Errorf("13-wide AND depth = %d gate delays, want 2", delay)
+	}
+}
+
+func TestCostCountsOnlyLiveGates(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	live := b.And(x, y)
+	for i := 0; i < 50; i++ {
+		b.Or(x, b.Not(y)) // dead logic, never output
+	}
+	b.Output("out", live)
+	n := b.Build()
+	tr, delay := n.Cost()
+	if tr != 6 { // one AND2
+		t.Errorf("live transistors = %d, want 6", tr)
+	}
+	if delay != 1 {
+		t.Errorf("delay = %d, want 1", delay)
+	}
+	if g := n.NumGates(); g != 1 {
+		t.Errorf("live gates = %d, want 1", g)
+	}
+}
+
+func TestTransistorCosts(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+	b.Output("o1", b.Not(b.And(x, y, z))) // AND3 (8 tr) + INV (2 tr)
+	n := b.Build()
+	tr, delay := n.Cost()
+	if tr != 10 {
+		t.Errorf("transistors = %d, want 10", tr)
+	}
+	if delay != 2 {
+		t.Errorf("delay = %d, want 2 (AND level + INV)", delay)
+	}
+}
+
+func TestEvalInputMismatch(t *testing.T) {
+	b := NewBuilder()
+	b.Input("x")
+	n := b.Build()
+	if _, err := n.Eval([]bool{true, false}); err == nil {
+		t.Error("Eval accepted wrong input count")
+	}
+}
+
+func TestRandomCircuitEvalStable(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	b := NewBuilder()
+	pool := []Signal{b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d")}
+	for i := 0; i < 200; i++ {
+		x := pool[r.Intn(len(pool))]
+		y := pool[r.Intn(len(pool))]
+		switch r.Intn(3) {
+		case 0:
+			pool = append(pool, b.And(x, y))
+		case 1:
+			pool = append(pool, b.Or(x, y))
+		default:
+			pool = append(pool, b.Not(x))
+		}
+	}
+	b.Output("out", pool[len(pool)-1])
+	n := b.Build()
+	in := []bool{true, false, true, false}
+	first, err := n.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, _ := n.Eval(in)
+		if again[0] != first[0] {
+			t.Fatal("evaluation is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package merge
+
+import "vliwmt/internal/isa"
+
+// Selection is the outcome of one merge-stage cycle: which thread ports
+// issue and the occupancy of the merged execution packet.
+type Selection struct {
+	Mask uint32
+	Occ  isa.Occupancy
+}
+
+// Empty reports whether no port was selected.
+func (s Selection) Empty() bool { return s.Mask == 0 }
+
+// Count returns the number of selected ports.
+func (s Selection) Count() int {
+	n := 0
+	for m := s.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Has reports whether port p was selected.
+func (s Selection) Has(p int) bool { return s.Mask&(1<<uint(p)) != 0 }
+
+// Selector is the merge-stage policy: given the candidate instruction
+// occupancy at each thread port (nil when the thread is stalled or absent),
+// it picks the set of ports that issue this cycle.
+//
+// Implementations may keep state across cycles (e.g. block multithreading),
+// so a Selector instance must not be shared between simulators.
+type Selector interface {
+	Name() string
+	Ports() int
+	Select(m *isa.Machine, cands []*isa.Occupancy) Selection
+}
+
+// Select implements the greedy priority-ordered merging of the scheme.
+func (t *Tree) Select(m *isa.Machine, cands []*isa.Occupancy) Selection {
+	return t.root.sel(m, cands)
+}
+
+func compatible(k Kind, a, b isa.Occupancy, m *isa.Machine) bool {
+	if k == CSMT {
+		return a.CompatCSMT(b)
+	}
+	return a.CompatSMT(b, m)
+}
+
+func (n *Node) sel(m *isa.Machine, cands []*isa.Occupancy) Selection {
+	var acc Selection
+	for _, in := range n.Inputs {
+		var s Selection
+		if in.Node != nil {
+			s = in.Node.sel(m, cands)
+		} else if c := cands[in.Port]; c != nil {
+			s = Selection{Mask: 1 << uint(in.Port), Occ: *c}
+		}
+		if s.Empty() {
+			continue
+		}
+		if acc.Empty() {
+			acc = s
+			continue
+		}
+		if compatible(n.Kind, acc.Occ, s.Occ, m) {
+			acc.Mask |= s.Mask
+			acc.Occ = acc.Occ.Union(s.Occ)
+		}
+		// Incompatible inputs are dropped whole: a merged sub-packet
+		// cannot be split back into its threads (VLIW semantics).
+	}
+	return acc
+}
+
+// IMT is the interleaved multithreading baseline: exactly one thread issues
+// per cycle, the highest-priority runnable one. Combined with the
+// simulator's round-robin priority rotation this interleaves threads
+// cycle by cycle, as in barrel processors.
+type IMT struct {
+	NumPorts int
+}
+
+// Name implements Selector.
+func (s *IMT) Name() string { return "IMT" }
+
+// Ports implements Selector.
+func (s *IMT) Ports() int { return s.NumPorts }
+
+// Select implements Selector.
+func (s *IMT) Select(m *isa.Machine, cands []*isa.Occupancy) Selection {
+	for p, c := range cands {
+		if c != nil {
+			return Selection{Mask: 1 << uint(p), Occ: *c}
+		}
+	}
+	return Selection{}
+}
+
+// BMT is the block multithreading baseline: the current thread keeps
+// issuing until it blocks (stall or end of stream), then the next runnable
+// thread takes over.
+type BMT struct {
+	NumPorts int
+	current  int
+}
+
+// Name implements Selector.
+func (s *BMT) Name() string { return "BMT" }
+
+// Ports implements Selector.
+func (s *BMT) Ports() int { return s.NumPorts }
+
+// Select implements Selector.
+func (s *BMT) Select(m *isa.Machine, cands []*isa.Occupancy) Selection {
+	if s.current < len(cands) && cands[s.current] != nil {
+		return Selection{Mask: 1 << uint(s.current), Occ: *cands[s.current]}
+	}
+	for i := 1; i <= len(cands); i++ {
+		p := (s.current + i) % len(cands)
+		if cands[p] != nil {
+			s.current = p
+			return Selection{Mask: 1 << uint(p), Occ: *cands[p]}
+		}
+	}
+	return Selection{}
+}
+
+// NewSelector builds a Selector by name: a merging scheme name understood
+// by Parse, or the baselines "IMT" and "BMT". ports is the number of
+// hardware thread ports.
+func NewSelector(name string, ports int) (Selector, error) {
+	switch name {
+	case "IMT":
+		return &IMT{NumPorts: ports}, nil
+	case "BMT":
+		return &BMT{NumPorts: ports}, nil
+	}
+	return Parse(name, ports)
+}

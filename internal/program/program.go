@@ -1,0 +1,124 @@
+// Package program holds executable compiled code: scheduled VLIW
+// instructions grouped into blocks, the control-flow graph between them,
+// and the runtime behaviours (branch directions, memory address streams)
+// that drive the cycle-level simulator.
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"vliwmt/internal/ir"
+	"vliwmt/internal/isa"
+)
+
+// Block is one compiled basic block.
+type Block struct {
+	Name   string
+	Instrs []isa.Instruction
+	// Addrs holds the code address of each instruction (for ICache).
+	Addrs []uint64
+	// BranchTarget is the block index reached when the terminating branch
+	// is taken; -1 when the block has no branch.
+	BranchTarget int
+	// Behavior drives the runtime branch direction.
+	Behavior ir.BranchBehavior
+	// BranchStream indexes the per-walker branch state for this site
+	// (loop counters); -1 when the block has no branch.
+	BranchStream int
+	// Next is the fall-through successor block index.
+	Next int
+}
+
+// Program is a compiled kernel ready for simulation.
+type Program struct {
+	Name    string
+	Blocks  []Block
+	Streams []ir.MemStream
+	// CodeSize is the total encoded code footprint in bytes.
+	CodeSize uint64
+	// NumBranchSites is the number of branch sites (for walker state).
+	NumBranchSites int
+	// SourceOps is the number of IR operations compiled (before copies).
+	SourceOps int
+}
+
+// NumInstructions returns the static count of VLIW instructions.
+func (p *Program) NumInstructions() int {
+	n := 0
+	for i := range p.Blocks {
+		n += len(p.Blocks[i].Instrs)
+	}
+	return n
+}
+
+// NumOps returns the static count of operations (including copies and
+// branches) across all instructions.
+func (p *Program) NumOps() int {
+	n := 0
+	for i := range p.Blocks {
+		for _, in := range p.Blocks[i].Instrs {
+			n += len(in.Ops)
+		}
+	}
+	return n
+}
+
+// StaticOpsPerInstr is the static operation density (ops per VLIW
+// instruction), an upper bound on achievable IPC for the kernel.
+func (p *Program) StaticOpsPerInstr() float64 {
+	ni := p.NumInstructions()
+	if ni == 0 {
+		return 0
+	}
+	return float64(p.NumOps()) / float64(ni)
+}
+
+// Validate checks internal consistency against machine m.
+func (p *Program) Validate(m *isa.Machine) error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("program %s: no blocks", p.Name)
+	}
+	for bi := range p.Blocks {
+		b := &p.Blocks[bi]
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("program %s: block %s is empty", p.Name, b.Name)
+		}
+		if len(b.Addrs) != len(b.Instrs) {
+			return fmt.Errorf("program %s: block %s has %d addrs for %d instrs", p.Name, b.Name, len(b.Addrs), len(b.Instrs))
+		}
+		if b.BranchTarget >= len(p.Blocks) || b.Next < 0 || b.Next >= len(p.Blocks) {
+			return fmt.Errorf("program %s: block %s has out-of-range successors", p.Name, b.Name)
+		}
+		for ii, in := range b.Instrs {
+			if err := in.Validate(m); err != nil {
+				return fmt.Errorf("program %s: block %s instr %d: %w", p.Name, b.Name, ii, err)
+			}
+			for _, op := range in.Ops {
+				if op.Class == isa.OpMem && (op.Stream < 0 || int(op.Stream) >= len(p.Streams)) {
+					return fmt.Errorf("program %s: block %s instr %d: bad stream %d", p.Name, b.Name, ii, op.Stream)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the program as text, one instruction per line.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s: %d blocks, %d instrs, %d ops, %.2f ops/instr, %d bytes\n",
+		p.Name, len(p.Blocks), p.NumInstructions(), p.NumOps(), p.StaticOpsPerInstr(), p.CodeSize)
+	for bi := range p.Blocks {
+		blk := &p.Blocks[bi]
+		fmt.Fprintf(&b, "%s:", blk.Name)
+		if blk.BranchTarget >= 0 {
+			fmt.Fprintf(&b, " (branch -> %s)", p.Blocks[blk.BranchTarget].Name)
+		}
+		b.WriteByte('\n')
+		for ii, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %06x: %s\n", blk.Addrs[ii], in.String())
+		}
+	}
+	return b.String()
+}

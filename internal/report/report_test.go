@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAligns(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"name", "ipc"}, [][]string{
+		{"colorspace", "8.88"},
+		{"mcf", "0.96"},
+	})
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "colorspace  8.88") {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var b strings.Builder
+	Table(&b, []string{"a", "b", "c"}, [][]string{{"1"}, {"1", "2", "3"}})
+	if !strings.Contains(b.String(), "1") {
+		t.Error("ragged row dropped")
+	}
+}
+
+func TestBarChartScales(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "demo", []string{"x", "yy"}, []float64{1, 2}, 20)
+	out := b.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	// The largest value fills the full width.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	half := strings.Count(strings.Split(out, "\n")[1], "#")
+	if half != 10 {
+		t.Errorf("half bar = %d chars, want 10", half)
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "zeros", []string{"a"}, []float64{0}, 5)
+	if !strings.Contains(b.String(), "a") {
+		t.Error("label missing for zero value")
+	}
+	var c strings.Builder
+	BarChart(&c, "t", []string{"a", "b"}, []float64{1}, 3)
+	if !strings.Contains(c.String(), "b") {
+		t.Error("missing-value label dropped")
+	}
+}
+
+func TestScatterMarksAllPoints(t *testing.T) {
+	var b strings.Builder
+	Scatter(&b, "perf", "transistors", "ipc",
+		[]string{"p1", "p2", "p3"},
+		[]float64{100, 200, 300},
+		[]float64{1, 2, 3}, false)
+	out := b.String()
+	for _, mark := range []string{"a:", "b:", "c:"} {
+		if !strings.Contains(out, mark) {
+			t.Errorf("legend missing %q:\n%s", mark, out)
+		}
+	}
+	if !strings.Contains(out, "perf") {
+		t.Error("title missing")
+	}
+}
+
+func TestScatterLogAndEmpty(t *testing.T) {
+	var b strings.Builder
+	Scatter(&b, "log", "x", "y", []string{"a", "b"}, []float64{1, 2}, []float64{10, 100000}, true)
+	if !strings.Contains(b.String(), "a:") {
+		t.Error("log scatter lost points")
+	}
+	var c strings.Builder
+	Scatter(&c, "empty", "x", "y", nil, nil, nil, false)
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty scatter not reported")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Percent(12.34) != "+12.3%" {
+		t.Errorf("Percent = %q", Percent(12.34))
+	}
+	if Percent(-5) != "-5.0%" {
+		t.Errorf("Percent = %q", Percent(-5))
+	}
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+}

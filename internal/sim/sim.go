@@ -1,0 +1,364 @@
+// Package sim is the cycle-level simulator of the multithreaded clustered
+// VLIW processor evaluated in the paper: per-cycle instruction fetch
+// through a shared ICache, a thread merge stage (any merging scheme from
+// internal/merge), issue of the merged execution packet, blocking data
+// cache misses, and a 2-cycle squash after taken branches (no branch
+// predictor; fall-through is the predicted path).
+//
+// On top of the core sits the paper's multitasking model: the hardware
+// thread contexts are exposed as virtual CPUs, the OS schedules software
+// threads onto them in 1M-cycle timeslices, and replacement threads are
+// picked at random when a timeslice expires. A run ends when the first
+// thread retires its instruction budget.
+package sim
+
+import (
+	"fmt"
+
+	"vliwmt/internal/cache"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
+	"vliwmt/internal/program"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	Machine isa.Machine
+	ICache  cache.Config
+	DCache  cache.Config
+	// PerfectMemory disables both caches (every access hits), producing
+	// the paper's IPCp numbers.
+	PerfectMemory bool
+	// Contexts is the number of hardware thread contexts (virtual CPUs).
+	Contexts int
+	// Scheme names the merge control ("3SSS", "2SC3", "C4", ..., "IMT",
+	// "BMT"). Ignored when Contexts == 1.
+	Scheme string
+	// TimesliceCycles is the OS scheduling quantum (default 1,000,000).
+	TimesliceCycles int64
+	// InstrLimit ends the run when any thread retires this many VLIW
+	// instructions (the paper uses 100M; tests use much less).
+	InstrLimit int64
+	// MaxCycles is a safety bound (default 400 * InstrLimit).
+	MaxCycles int64
+	// FixedPriority disables the default round-robin priority rotation
+	// between threads and ports.
+	FixedPriority bool
+	// Seed drives OS scheduling decisions and per-thread behaviours.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's machine: 4 clusters x 4 issue,
+// 64KB/4-way/20-cycle I and D caches, 1M-cycle timeslices.
+func DefaultConfig() Config {
+	return Config{
+		Machine:         isa.Default(),
+		ICache:          cache.DefaultConfig(),
+		DCache:          cache.DefaultConfig(),
+		Contexts:        4,
+		Scheme:          "3SSS",
+		TimesliceCycles: 1_000_000,
+		InstrLimit:      1_000_000,
+		Seed:            1,
+	}
+}
+
+// Task is one software thread: a compiled program plus a name for
+// reporting.
+type Task struct {
+	Name string
+	Prog *program.Program
+}
+
+// ThreadStats reports per-software-thread results.
+type ThreadStats struct {
+	Name string
+	// Instrs and Ops are retired VLIW instructions and operations.
+	Instrs, Ops int64
+	// ScheduledCycles counts cycles the thread held a hardware context.
+	ScheduledCycles int64
+	// ConflictCycles counts cycles the thread had an instruction ready
+	// but the merge control did not select it.
+	ConflictCycles int64
+	// StallMem, StallFetch and StallBranch are cycles lost to data-cache
+	// misses, instruction-cache misses and taken-branch squash.
+	StallMem, StallFetch, StallBranch int64
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Cycles int64
+	Instrs int64
+	Ops    int64
+	// IPC is operations per cycle (the paper's metric).
+	IPC float64
+	// MergeHist[k] counts cycles in which k threads issued together.
+	MergeHist []int64
+	Threads   []ThreadStats
+	ICache    cache.Stats
+	DCache    cache.Stats
+	// IssueWidth is the machine-wide issue width, for waste accounting.
+	IssueWidth int
+	// EmptyCycles counts cycles in which zero operations issued (no
+	// thread selected, or only NOP bundles covering latency gaps).
+	EmptyCycles int64
+	// TimedOut reports that MaxCycles elapsed before any thread finished.
+	TimedOut bool
+}
+
+// VerticalWaste returns the fraction of cycles in which no operation
+// issued at all — the vertical waste of the paper's Section 1.
+func (r *Result) VerticalWaste() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.EmptyCycles) / float64(r.Cycles)
+}
+
+// HorizontalWaste returns the fraction of issue slots left empty during
+// cycles in which at least one operation issued — the horizontal waste of
+// the paper's Section 1. Utilisation, vertical and horizontal waste sum
+// to one.
+func (r *Result) HorizontalWaste() float64 {
+	slots := r.Cycles * int64(r.IssueWidth)
+	if slots == 0 {
+		return 0
+	}
+	nonEmptySlots := slots - r.EmptyCycles*int64(r.IssueWidth)
+	return float64(nonEmptySlots-r.Ops) / float64(slots)
+}
+
+// Utilisation returns the fraction of issue slots that executed an
+// operation.
+func (r *Result) Utilisation() float64 {
+	slots := r.Cycles * int64(r.IssueWidth)
+	if slots == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(slots)
+}
+
+type taskState struct {
+	walker  *program.Walker
+	readyAt int64
+	fetched bool
+	done    bool
+	stats   ThreadStats
+}
+
+// xorshift64 for OS scheduling decisions.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Run simulates tasks on the configured processor.
+func Run(cfg Config, tasks []Task) (*Result, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("sim: no tasks")
+	}
+	if cfg.Contexts < 1 {
+		return nil, fmt.Errorf("sim: %d contexts", cfg.Contexts)
+	}
+	if cfg.InstrLimit < 1 {
+		return nil, fmt.Errorf("sim: instruction limit %d", cfg.InstrLimit)
+	}
+	if cfg.TimesliceCycles <= 0 {
+		cfg.TimesliceCycles = 1_000_000
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 400 * cfg.InstrLimit
+	}
+	var sel merge.Selector
+	var err error
+	if cfg.Contexts == 1 {
+		sel = &merge.IMT{NumPorts: 1} // trivial single-thread issue
+	} else {
+		sel, err = merge.NewSelector(cfg.Scheme, cfg.Contexts)
+		if err != nil {
+			return nil, err
+		}
+		if sel.Ports() != cfg.Contexts {
+			return nil, fmt.Errorf("sim: scheme %s has %d ports, machine has %d contexts", cfg.Scheme, sel.Ports(), cfg.Contexts)
+		}
+	}
+	var ic, dc *cache.Cache
+	if !cfg.PerfectMemory {
+		if ic, err = cache.New(cfg.ICache); err != nil {
+			return nil, fmt.Errorf("sim: icache: %w", err)
+		}
+		if dc, err = cache.New(cfg.DCache); err != nil {
+			return nil, fmt.Errorf("sim: dcache: %w", err)
+		}
+	}
+
+	m := cfg.Machine
+	states := make([]*taskState, len(tasks))
+	for i, t := range tasks {
+		if t.Prog == nil {
+			return nil, fmt.Errorf("sim: task %d (%s) has no program", i, t.Name)
+		}
+		if err := t.Prog.Validate(&m); err != nil {
+			return nil, fmt.Errorf("sim: task %s: %w", t.Name, err)
+		}
+		seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+		states[i] = &taskState{
+			walker: program.NewWalker(t.Prog, seed, uint64(i+1)<<32, uint64(i+1)<<33),
+			stats:  ThreadStats{Name: t.Name},
+		}
+	}
+
+	osRng := rng{s: cfg.Seed ^ 0xd1b54a32d192ed03}
+	if osRng.s == 0 {
+		osRng.s = 1
+	}
+
+	// running maps hardware contexts to task indices (-1 = idle).
+	running := make([]int, cfg.Contexts)
+	pool := make([]int, 0, len(tasks)) // descheduled, not done
+	for i := range tasks {
+		pool = append(pool, i)
+	}
+	for i := range running {
+		running[i] = -1
+	}
+	schedule := func() {
+		// Return running tasks to the pool, then draw random replacements
+		// (the paper picks replacement threads at random for fairness).
+		for c, ti := range running {
+			if ti >= 0 && !states[ti].done {
+				pool = append(pool, ti)
+			}
+			running[c] = -1
+		}
+		for c := 0; c < cfg.Contexts && len(pool) > 0; c++ {
+			k := osRng.intn(len(pool))
+			running[c] = pool[k]
+			pool = append(pool[:k], pool[k+1:]...)
+		}
+	}
+	schedule()
+
+	res := &Result{
+		MergeHist:  make([]int64, cfg.Contexts+1),
+		IssueWidth: m.TotalIssueWidth(),
+	}
+	cands := make([]*isa.Occupancy, cfg.Contexts)
+	ports := make([]int, cfg.Contexts) // port -> context mapping
+	finished := false
+
+	var cycle int64
+	for cycle = 0; cycle < cfg.MaxCycles && !finished; cycle++ {
+		if cycle > 0 && cycle%cfg.TimesliceCycles == 0 && len(tasks) > cfg.Contexts {
+			schedule()
+		}
+		// Priority rotation: the thread-to-port mapping advances each
+		// cycle so every thread takes every position in the merge tree.
+		rot := 0
+		if !cfg.FixedPriority {
+			rot = int(cycle % int64(cfg.Contexts))
+		}
+		for p := 0; p < cfg.Contexts; p++ {
+			ctx := (p + rot) % cfg.Contexts
+			ports[p] = ctx
+			cands[p] = nil
+			ti := running[ctx]
+			if ti < 0 {
+				continue
+			}
+			st := states[ti]
+			if st.done || st.readyAt > cycle {
+				continue
+			}
+			if !st.fetched {
+				_, addr := st.walker.Current()
+				st.fetched = true // the line arrives during any stall
+				if ic != nil && !ic.Access(addr, false) {
+					pen := int64(ic.MissPenalty())
+					st.readyAt = cycle + pen
+					st.stats.StallFetch += pen
+					continue
+				}
+			}
+			in, _ := st.walker.Current()
+			cands[p] = &in.Occ
+		}
+
+		selection := sel.Select(&m, cands)
+		res.MergeHist[selection.Count()]++
+		if selection.Occ.Ops == 0 {
+			res.EmptyCycles++
+		}
+
+		for p := 0; p < cfg.Contexts; p++ {
+			if cands[p] == nil {
+				continue
+			}
+			ti := running[ports[p]]
+			st := states[ti]
+			st.stats.ScheduledCycles++
+			if !selection.Has(p) {
+				st.stats.ConflictCycles++
+				continue
+			}
+			info := st.walker.Retire()
+			st.fetched = false
+			st.stats.Instrs++
+			st.stats.Ops += int64(info.Ops)
+			res.Instrs++
+			res.Ops += int64(info.Ops)
+
+			var memStall, brStall int64
+			for _, acc := range info.Mem {
+				if dc != nil && !dc.Access(acc.Addr, acc.Store) {
+					memStall += int64(dc.MissPenalty())
+				}
+			}
+			if info.Taken {
+				brStall = int64(m.BranchPenalty)
+			}
+			// Both a blocking miss and a squash stall the front end; they
+			// overlap, so the thread resumes after the longer of the two.
+			stall := memStall
+			if brStall > stall {
+				stall = brStall
+			}
+			if stall > 0 {
+				st.readyAt = cycle + 1 + stall
+				st.stats.StallMem += memStall
+				st.stats.StallBranch += brStall
+			}
+			if st.walker.Retired >= cfg.InstrLimit {
+				st.done = true
+				finished = true
+			}
+		}
+	}
+
+	res.Cycles = cycle
+	res.TimedOut = !finished
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Ops) / float64(res.Cycles)
+	}
+	for _, st := range states {
+		res.Threads = append(res.Threads, st.stats)
+	}
+	if ic != nil {
+		res.ICache = ic.Stats
+	}
+	if dc != nil {
+		res.DCache = dc.Stats
+	}
+	return res, nil
+}

@@ -1,0 +1,123 @@
+// Package stats provides the small numeric helpers used when aggregating
+// simulation results: means, spread, and percentage comparisons.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean, the conventional average for
+// rates such as IPC (0 for empty input; panics on non-positive values).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %g", x))
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// GeoMean returns the geometric mean (0 for empty input; panics on
+// non-positive values).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geometric mean of non-positive value %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// PercentDiff returns 100*(a-b)/b.
+func PercentDiff(a, b float64) float64 {
+	return 100 * (a - b) / b
+}
+
+// MinMax returns the extremes of xs (zeros for empty input).
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Accumulator tracks a running mean and variance (Welford's algorithm).
+// The zero value is ready to use.
+type Accumulator struct {
+	n          int64
+	mean, m2   float64
+	minV, maxV float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.minV, a.maxV = x, x
+	} else {
+		if x < a.minV {
+			a.minV = x
+		}
+		if x > a.maxV {
+			a.maxV = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of samples.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the running mean.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Var returns the sample variance (0 with fewer than two samples).
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest sample (0 when empty).
+func (a *Accumulator) Min() float64 { return a.minV }
+
+// Max returns the largest sample (0 when empty).
+func (a *Accumulator) Max() float64 { return a.maxV }

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if HarmonicMean(nil) != 0 {
+		t.Error("HarmonicMean(nil) != 0")
+	}
+	if !almost(HarmonicMean([]float64{1, 1, 1}), 1) {
+		t.Error("harmonic of ones")
+	}
+	// Harmonic mean of 2 and 6 is 3.
+	if !almost(HarmonicMean([]float64{2, 6}), 3) {
+		t.Errorf("HarmonicMean(2,6) = %g", HarmonicMean([]float64{2, 6}))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-positive input")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean(2,8) = %g", GeoMean([]float64{2, 8}))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-positive input")
+		}
+	}()
+	GeoMean([]float64{-1})
+}
+
+func TestPercentDiff(t *testing.T) {
+	if !almost(PercentDiff(6, 4), 50) {
+		t.Errorf("PercentDiff(6,4) = %g", PercentDiff(6, 4))
+	}
+	if !almost(PercentDiff(3, 4), -25) {
+		t.Errorf("PercentDiff(3,4) = %g", PercentDiff(3, 4))
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, 1, 4, 1, 5})
+	if min != 1 || max != 5 {
+		t.Errorf("MinMax = %g,%g", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("MinMax(nil) != 0,0")
+	}
+}
+
+func TestAccumulatorMatchesDirect(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		var acc Accumulator
+		for _, x := range clean {
+			acc.Add(x)
+		}
+		if len(clean) == 0 {
+			return acc.N() == 0 && acc.Mean() == 0
+		}
+		min, max := MinMax(clean)
+		return almostRel(acc.Mean(), Mean(clean)) && acc.Min() == min && acc.Max() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostRel(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-6*(math.Abs(a)+math.Abs(b))
+}
+
+func TestAccumulatorVariance(t *testing.T) {
+	var acc Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		acc.Add(x)
+	}
+	if !almost(acc.Mean(), 5) {
+		t.Errorf("mean = %g", acc.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if !almost(acc.Var(), 32.0/7) {
+		t.Errorf("var = %g", acc.Var())
+	}
+	if !almost(acc.StdDev(), math.Sqrt(32.0/7)) {
+		t.Errorf("stddev = %g", acc.StdDev())
+	}
+	var empty Accumulator
+	if empty.Var() != 0 || empty.StdDev() != 0 {
+		t.Error("variance of empty accumulator not 0")
+	}
+}

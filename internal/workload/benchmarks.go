@@ -1,0 +1,405 @@
+// Package workload defines the paper's evaluation inputs: the twelve
+// Table 1 benchmarks, rebuilt as synthetic IR kernels calibrated to each
+// benchmark's published single-thread behaviour (IPCr with real caches,
+// IPCp with perfect memory, ILP class), and the nine Table 2 workload
+// mixes.
+//
+// The kernels do not recompute the original programs; they reproduce the
+// *shape* that matters to thread merging: operations per instruction,
+// dependence-chain structure, functional-unit mix, cluster spread after
+// compilation, branch frequency/direction, code footprint and memory
+// locality. DESIGN.md records the substitution rationale.
+package workload
+
+import (
+	"fmt"
+
+	"vliwmt/internal/compiler"
+	"vliwmt/internal/ir"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/program"
+)
+
+// ILPClass is the paper's L/M/H classification by IPCp.
+type ILPClass uint8
+
+const (
+	// Low ILP (IPCp up to about 1.5).
+	Low ILPClass = iota
+	// Medium ILP (IPCp around 1.7).
+	Medium
+	// High ILP (IPCp of 4 and above).
+	High
+)
+
+func (c ILPClass) String() string {
+	switch c {
+	case Low:
+		return "L"
+	case Medium:
+		return "M"
+	default:
+		return "H"
+	}
+}
+
+// Benchmark is one Table 1 entry.
+type Benchmark struct {
+	Name        string
+	Description string
+	Class       ILPClass
+	// PaperIPCr and PaperIPCp are the values published in Table 1.
+	PaperIPCr, PaperIPCp float64
+	// Unroll is the compiler unroll factor used for this kernel.
+	Unroll int
+	// Build constructs the kernel IR.
+	Build func() *ir.Function
+}
+
+// Compile lowers the benchmark for machine m.
+func (b *Benchmark) Compile(m isa.Machine) (*program.Program, error) {
+	return compiler.Compile(b.Build(), compiler.Options{Machine: m, Unroll: b.Unroll})
+}
+
+// lane adds one dependence chain of length n starting at a fresh value;
+// every mulEvery-th op is a multiply (0 disables). Returns the tail value.
+func lane(b *ir.Builder, n, mulEvery int, head ir.Value) ir.Value {
+	v := head
+	for i := 1; i < n; i++ {
+		if mulEvery > 0 && i%mulEvery == 0 {
+			v = b.Mul(v)
+		} else {
+			v = b.ALU(v)
+		}
+	}
+	return v
+}
+
+const (
+	kb = 1024
+	mb = 1024 * 1024
+)
+
+// mcf: minimum-cost flow — pointer-heavy graph traversal with a large,
+// irregular working set and unpredictable branches. Low ILP; the clearest
+// memory-bound benchmark of the set (IPCr 0.96 vs IPCp 1.34).
+func buildMCF() *ir.Function {
+	b := ir.NewBuilder("mcf")
+	chase := b.Stream(ir.MemStream{Kind: ir.StreamChase, Base: 0x10000000, Footprint: 8 * mb})
+	nodes := b.Stream(ir.MemStream{Kind: ir.StreamRandom, Base: 0x20000000, Footprint: 48 * kb})
+	for i := 0; i < 12; i++ {
+		b.Block(fmt.Sprintf("arc%d", i))
+		var v ir.Value
+		if i == 0 {
+			v = b.Load(chase) // chase a cold arc pointer
+		} else {
+			v = b.Load(nodes) // warm node data
+		}
+		w := lane(b, 3, 0, b.ALU(v))
+		x := lane(b, 2, 0, b.ALU(v))
+		y := b.ALU(v)
+		b.ALU(w, x, y)
+		target := fmt.Sprintf("arc%d", (i+5)%12)
+		b.Branch(target, ir.Bernoulli(0.38))
+	}
+	return b.MustFinish()
+}
+
+// bzip2: compression — dominated by data-dependent branches on serial
+// chains; the lowest-IPC benchmark (0.81/0.83), barely memory sensitive.
+func buildBzip2() *ir.Function {
+	b := ir.NewBuilder("bzip2")
+	work := b.Stream(ir.MemStream{Kind: ir.StreamRandom, Base: 0x10000000, Footprint: 40 * kb})
+	for i := 0; i < 12; i++ {
+		b.Block(fmt.Sprintf("huff%d", i))
+		v := b.Load(work)
+		lane(b, 3, 0, b.ALU(v))
+		b.Branch(fmt.Sprintf("huff%d", (i+5)%12), ir.Bernoulli(0.46))
+	}
+	return b.MustFinish()
+}
+
+// blowfish: encryption rounds — two interleaved serial chains with S-box
+// lookups (cache resident) over a streaming input (not resident).
+func buildBlowfish() *ir.Function {
+	b := ir.NewBuilder("blowfish")
+	sbox := b.Stream(ir.MemStream{Kind: ir.StreamRandom, Base: 0x10000000, Footprint: 16 * kb})
+	input := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x20000000, Stride: 4, Footprint: 4 * mb})
+	b.Block("round")
+	// Two 8-byte blocks encrypt in parallel; each runs a serial chain of
+	// Feistel rounds through the (resident) S-boxes. The second block has
+	// fewer rounds in flight (it is further along in the source loop), so
+	// the kernel is not perfectly balanced.
+	for blk := 0; blk < 2; blk++ {
+		in := b.Load(input)
+		l := b.ALU(in)
+		r := b.ALU(in)
+		rounds := 4 - 2*blk
+		for i := 0; i < rounds; i++ {
+			s := b.Load(sbox, l)
+			r = b.ALU(r, s)
+			l, r = r, b.ALU(l)
+		}
+		b.Store(input, b.ALU(l, r))
+	}
+	b.Branch("round", ir.Loop(64))
+	return b.MustFinish()
+}
+
+// gsmencode: GSM speech encoder — serial DSP chains with multiplies (whose
+// two-cycle latency leaves gaps) over a resident working set.
+func buildGSMEncode() *ir.Function {
+	b := ir.NewBuilder("gsmencode")
+	frame := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 4, Footprint: 24 * kb})
+	for i := 0; i < 4; i++ {
+		b.Block(fmt.Sprintf("lpc%d", i))
+		v := b.Load(frame)
+		acc := b.Mul(v)
+		acc = b.ALU(acc)
+		acc = b.Mul(acc)
+		acc = b.ALU(acc)
+		side := lane(b, 4, 0, b.ALU(v))
+		b.Store(frame, acc)
+		b.ALU(side)
+		b.Branch(fmt.Sprintf("lpc%d", i), ir.Loop(12))
+	}
+	return b.MustFinish()
+}
+
+// g721encode: ADPCM encoder — two modest parallel chains with multiplies,
+// fully cache resident (IPCr equals IPCp in the paper).
+func buildG721(name string, trip int, prob float64) func() *ir.Function {
+	return func() *ir.Function {
+		b := ir.NewBuilder(name)
+		state := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 4, Footprint: 16 * kb})
+		b.Block("predict")
+		v := b.Load(state)
+		a := lane(b, 4, 3, b.ALU(v))
+		c := lane(b, 4, 0, b.ALU(v))
+		d := lane(b, 3, 0, b.ALU(v))
+		e := lane(b, 2, 0, b.ALU(v))
+		b.Store(state, b.ALU(a, c))
+		b.ALU(d, e)
+		b.Branch("predict", ir.Loop(trip))
+		b.Block("quant")
+		w := b.Load(state)
+		qa := lane(b, 3, 2, b.ALU(w))
+		qb := lane(b, 4, 0, b.ALU(w))
+		qc := lane(b, 3, 0, b.ALU(w))
+		qd := lane(b, 2, 0, b.ALU(w))
+		b.ALU(qa, qb)
+		b.ALU(qc, qd)
+		b.Branch("predict", ir.Bernoulli(prob))
+		return b.MustFinish()
+	}
+}
+
+// cjpeg: JPEG encoder — DCT lanes with multiplies, streaming an image in
+// and coefficients out; memory traffic costs a third of its perfect IPC.
+func buildCJPEG() *ir.Function {
+	b := ir.NewBuilder("cjpeg")
+	image := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 8, Footprint: 6 * mb})
+	coef := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x20000000, Stride: 8, Footprint: 6 * mb})
+	b.Block("fdct")
+	px := b.Load(image)
+	a := lane(b, 5, 2, b.ALU(px))
+	c := lane(b, 5, 0, b.ALU(px))
+	d := lane(b, 4, 0, b.ALU(px))
+	e := lane(b, 3, 0, b.ALU(px))
+	b.Store(coef, b.ALU(a, c))
+	b.ALU(d, e)
+	b.Branch("fdct", ir.Loop(32))
+	b.Block("scan")
+	v := b.Load(coef)
+	lane(b, 4, 0, b.ALU(v))
+	b.Branch("fdct", ir.Bernoulli(0.3))
+	return b.MustFinish()
+}
+
+// djpeg: JPEG decoder — same DCT shape as cjpeg but tiles stay resident
+// (decoded blocks are consumed immediately), so caches barely matter.
+func buildDJPEG() *ir.Function {
+	b := ir.NewBuilder("djpeg")
+	tile := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 8, Footprint: 32 * kb})
+	b.Block("idctrow")
+	v := b.Load(tile)
+	a := lane(b, 5, 2, b.ALU(v))
+	c := lane(b, 5, 0, b.ALU(v))
+	d := lane(b, 4, 0, b.ALU(v))
+	e := lane(b, 4, 0, b.ALU(v))
+	b.Store(tile, b.ALU(a, c))
+	b.ALU(d, e)
+	b.Branch("idctrow", ir.Loop(24))
+	b.Block("upsample")
+	w := b.Load(tile)
+	ua := lane(b, 4, 0, b.ALU(w))
+	ub := lane(b, 3, 0, b.ALU(w))
+	uc := lane(b, 3, 0, b.ALU(w))
+	b.ALU(ua, ub)
+	b.ALU(uc)
+	b.Branch("idctrow", ir.Bernoulli(0.25))
+	return b.MustFinish()
+}
+
+// imgpipe: imaging pipeline for high-performance printers — wide
+// independent pixel lanes, streaming input with moderate miss traffic.
+func buildImgpipe() *ir.Function {
+	b := ir.NewBuilder("imgpipe")
+	in := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 2, Footprint: 3 * mb})
+	out := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x20000000, Stride: 2, Footprint: 3 * mb})
+	b.Block("pipe")
+	src := b.Load(in)
+	var tails []ir.Value
+	for l := 0; l < 8; l++ {
+		tails = append(tails, lane(b, 5, 3, b.ALU(src)))
+	}
+	b.Store(out, b.ALU(tails[0], tails[1]))
+	b.ALU(tails[2], tails[3])
+	b.ALU(tails[4], tails[5])
+	b.ALU(tails[6], tails[7])
+	b.Branch("pipe", ir.Loop(48))
+	return b.MustFinish()
+}
+
+// x264: H.264 encoder — ALU-dominated SAD/satd lanes across many distinct
+// code blocks (motion search control), light data misses.
+func buildX264() *ir.Function {
+	b := ir.NewBuilder("x264")
+	ref := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 16, Footprint: 24 * kb})
+	cur := b.Stream(ir.MemStream{Kind: ir.StreamRandom, Base: 0x20000000, Footprint: 24 * kb})
+	for i := 0; i < 10; i++ {
+		b.Block(fmt.Sprintf("sad%d", i))
+		r := b.Load(ref)
+		c := b.Load(cur)
+		var tails []ir.Value
+		for l := 0; l < 6; l++ {
+			var head ir.Value
+			if l%2 == 0 {
+				head = b.ALU(r)
+			} else {
+				head = b.ALU(c)
+			}
+			tails = append(tails, lane(b, 4, 0, head))
+		}
+		b.ALU(tails[0], tails[1])
+		b.ALU(tails[2], tails[3])
+		b.ALU(tails[4], tails[5])
+		if i%2 == 0 {
+			b.Branch(fmt.Sprintf("sad%d", i), ir.Loop(16))
+		} else {
+			b.Branch(fmt.Sprintf("sad%d", (i+3)%10), ir.Bernoulli(0.3))
+		}
+	}
+	return b.MustFinish()
+}
+
+// idct: inverse discrete cosine transform (ffmpeg) — eight butterfly rows
+// with multiplies, unrolled by the compiler, working set resident with a
+// streamed coefficient input.
+func buildIDCT() *ir.Function {
+	b := ir.NewBuilder("idct")
+	coef := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 2, Footprint: 768 * kb})
+	blk := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x20000000, Stride: 8, Footprint: 16 * kb})
+	b.Block("rows")
+	v := b.Load(coef)
+	var tails []ir.Value
+	for l := 0; l < 5; l++ {
+		m := 0
+		if l%2 == 0 {
+			m = 2
+		}
+		tails = append(tails, lane(b, 5, m, b.ALU(v)))
+	}
+	for i := 0; i+1 < len(tails); i += 2 {
+		b.ALU(tails[i], tails[i+1])
+	}
+	b.Store(blk, tails[0])
+	b.Branch("rows", ir.Loop(64))
+	return b.MustFinish()
+}
+
+// colorspace: production colour-space conversion — the widest kernel:
+// many independent pixel conversions per iteration, heavy streaming.
+func buildColorspace() *ir.Function {
+	b := ir.NewBuilder("colorspace")
+	in := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x10000000, Stride: 4, Footprint: 8 * mb})
+	out := b.Stream(ir.MemStream{Kind: ir.StreamStride, Base: 0x20000000, Stride: 4, Footprint: 8 * mb})
+	b.Block("convert")
+	src := b.Load(in)
+	src2 := b.Load(in)
+	var tails []ir.Value
+	for l := 0; l < 9; l++ {
+		head := src
+		if l%2 == 1 {
+			head = src2
+		}
+		tails = append(tails, lane(b, 6, 3, b.ALU(head)))
+	}
+	b.Store(out, b.ALU(tails[0], tails[1]))
+	b.Store(out, b.ALU(tails[2], tails[3]))
+	for i := 4; i+1 < len(tails); i += 2 {
+		b.ALU(tails[i], tails[i+1])
+	}
+	b.Branch("convert", ir.Loop(96))
+	return b.MustFinish()
+}
+
+// Benchmarks returns the twelve Table 1 benchmarks in the paper's order.
+func Benchmarks() []Benchmark {
+	return []Benchmark{
+		{Name: "mcf", Description: "Minimum Cost Flow", Class: Low, PaperIPCr: 0.96, PaperIPCp: 1.34, Unroll: 1, Build: buildMCF},
+		{Name: "bzip2", Description: "Bzip2 Compression", Class: Low, PaperIPCr: 0.81, PaperIPCp: 0.83, Unroll: 1, Build: buildBzip2},
+		{Name: "blowfish", Description: "Encryption", Class: Low, PaperIPCr: 1.11, PaperIPCp: 1.47, Unroll: 1, Build: buildBlowfish},
+		{Name: "gsmencode", Description: "GSM Encoder", Class: Low, PaperIPCr: 1.07, PaperIPCp: 1.07, Unroll: 1, Build: buildGSMEncode},
+		{Name: "g721encode", Description: "G721 Encoder", Class: Medium, PaperIPCr: 1.75, PaperIPCp: 1.76, Unroll: 1, Build: buildG721("g721encode", 20, 0.2)},
+		{Name: "g721decode", Description: "G721 Decoder", Class: Medium, PaperIPCr: 1.75, PaperIPCp: 1.76, Unroll: 1, Build: buildG721("g721decode", 16, 0.25)},
+		{Name: "cjpeg", Description: "Jpeg Encoder", Class: Medium, PaperIPCr: 1.12, PaperIPCp: 1.66, Unroll: 1, Build: buildCJPEG},
+		{Name: "djpeg", Description: "Jpeg Decoder", Class: Medium, PaperIPCr: 1.76, PaperIPCp: 1.77, Unroll: 1, Build: buildDJPEG},
+		{Name: "imgpipe", Description: "Imaging pipeline", Class: High, PaperIPCr: 3.81, PaperIPCp: 4.05, Unroll: 1, Build: buildImgpipe},
+		{Name: "x264", Description: "H.264 encoder", Class: High, PaperIPCr: 3.89, PaperIPCp: 4.04, Unroll: 1, Build: buildX264},
+		{Name: "idct", Description: "Inverse Discrete Cosine Transform", Class: High, PaperIPCr: 4.79, PaperIPCp: 5.27, Unroll: 2, Build: buildIDCT},
+		{Name: "colorspace", Description: "Colorspace Conversion", Class: High, PaperIPCr: 5.47, PaperIPCp: 8.88, Unroll: 2, Build: buildColorspace},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Mix is one Table 2 workload configuration: four benchmarks named by
+// their ILP-class combination.
+type Mix struct {
+	Name    string
+	Members [4]string
+}
+
+// Mixes returns the nine Table 2 workload configurations in paper order.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "LLLL", Members: [4]string{"mcf", "bzip2", "blowfish", "gsmencode"}},
+		{Name: "LMMH", Members: [4]string{"bzip2", "cjpeg", "djpeg", "imgpipe"}},
+		{Name: "MMMM", Members: [4]string{"g721encode", "g721decode", "cjpeg", "djpeg"}},
+		{Name: "LLMM", Members: [4]string{"gsmencode", "blowfish", "g721encode", "djpeg"}},
+		{Name: "LLMH", Members: [4]string{"mcf", "blowfish", "cjpeg", "x264"}},
+		{Name: "LLHH", Members: [4]string{"mcf", "blowfish", "x264", "idct"}},
+		{Name: "LMHH", Members: [4]string{"gsmencode", "g721encode", "imgpipe", "colorspace"}},
+		{Name: "MMHH", Members: [4]string{"djpeg", "g721decode", "idct", "colorspace"}},
+		{Name: "HHHH", Members: [4]string{"x264", "idct", "imgpipe", "colorspace"}},
+	}
+}
+
+// MixByName returns the named Table 2 mix.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workload: unknown mix %q", name)
+}

@@ -1,0 +1,208 @@
+// Package vliwmt is a cycle-level model of multithreaded clustered VLIW
+// processors and of the thread merging schemes from Gupta, Sánchez and
+// Llosa, "Thread Merging Schemes for Multithreaded Clustered VLIW
+// Processors" (ICPP 2009).
+//
+// The library bundles everything needed to reproduce and extend the
+// paper's evaluation:
+//
+//   - a VEX/Lx-like clustered VLIW machine model (Machine),
+//   - a dataflow-IR kernel builder and optimising compiler
+//     (NewKernel, CompileKernel) standing in for the VEX C compiler,
+//   - the merge-control schemes — SMT, CSMT, and the paper's sixteen
+//     cascade/tree combinations such as 2SC3 — selectable by name,
+//   - a multithreaded cycle-level simulator with shared caches, taken
+//     branch squash and a multitasking OS model (Run, RunMix),
+//   - the twelve Table 1 benchmarks and nine Table 2 workload mixes
+//     (Benchmarks, Mixes),
+//   - a gate-level hardware cost model of every merge control
+//     (SchemeCost, CostScaling).
+//
+// The quickest start:
+//
+//	cfg := vliwmt.DefaultConfig()
+//	cfg.Scheme = "2SC3"
+//	res, err := vliwmt.RunMix(cfg, "LLHH")
+//	fmt.Println(res.IPC)
+package vliwmt
+
+import (
+	"fmt"
+
+	"vliwmt/internal/cache"
+	"vliwmt/internal/compiler"
+	"vliwmt/internal/cost"
+	"vliwmt/internal/ir"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
+	"vliwmt/internal/program"
+	"vliwmt/internal/sim"
+	"vliwmt/internal/workload"
+)
+
+// Machine describes the clustered VLIW processor (clusters, issue width,
+// functional units, latencies, branch penalty).
+type Machine = isa.Machine
+
+// DefaultMachine returns the paper's 4-cluster, 4-issue-per-cluster
+// configuration.
+func DefaultMachine() Machine { return isa.Default() }
+
+// CacheConfig describes one cache (size, line, ways, miss penalty).
+type CacheConfig = cache.Config
+
+// DefaultCache returns the paper's 64KB 4-way 20-cycle-miss cache.
+func DefaultCache() CacheConfig { return cache.DefaultConfig() }
+
+// Config parameterises a simulation run.
+type Config = sim.Config
+
+// DefaultConfig returns the paper's processor and OS configuration:
+// 4 hardware contexts, 4-thread SMT merging, 64KB caches, 1M-cycle
+// timeslices and a 1M-instruction budget.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Task is one software thread: a name and a compiled program.
+type Task = sim.Task
+
+// Result carries the outcome of a run: cycles, retired operations, IPC,
+// the merge histogram, per-thread statistics and cache statistics.
+type Result = sim.Result
+
+// Program is compiled clustered-VLIW code ready for simulation.
+type Program = program.Program
+
+// Run simulates the given software threads under cfg.
+func Run(cfg Config, tasks []Task) (*Result, error) { return sim.Run(cfg, tasks) }
+
+// Benchmark describes one of the paper's Table 1 benchmarks.
+type Benchmark = workload.Benchmark
+
+// Benchmarks returns the twelve Table 1 benchmarks.
+func Benchmarks() []Benchmark { return workload.Benchmarks() }
+
+// CompileBenchmark compiles the named Table 1 benchmark for machine m.
+func CompileBenchmark(name string, m Machine) (*Program, error) {
+	b, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Compile(m)
+}
+
+// Mix is one of the paper's Table 2 workload configurations.
+type Mix = workload.Mix
+
+// Mixes returns the nine Table 2 workload mixes (LLLL .. HHHH).
+func Mixes() []Mix { return workload.Mixes() }
+
+// RunMix compiles the named Table 2 mix and simulates it under cfg.
+func RunMix(cfg Config, mixName string) (*Result, error) {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return nil, err
+	}
+	var tasks []Task
+	for _, name := range mix.Members {
+		p, err := CompileBenchmark(name, cfg.Machine)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, Task{Name: name, Prog: p})
+	}
+	return Run(cfg, tasks)
+}
+
+// Schemes returns the sixteen merging schemes of the paper's Figure 9,
+// in its order. Scheme names parse as described in the paper: "3SCC" is a
+// three-level cascade (SMT first, then two CSMT levels), "2SC3" merges two
+// threads by SMT and the result with two more threads by parallel CSMT,
+// "C4" is single-level parallel CSMT, "2CC".."2SS" are balanced trees, and
+// "1S" is the 2-thread SMT reference.
+func Schemes() []string { return merge.PaperSchemes4() }
+
+// SchemeThreads returns how many hardware threads the named scheme merges.
+func SchemeThreads(name string) int { return merge.PortsFor(name) }
+
+// DescribeScheme renders the merge tree of a scheme, e.g.
+// "C3(S(T0,T1),T2,T3)" for 2SC3.
+func DescribeScheme(name string) (string, error) {
+	tree, err := merge.Parse(name, merge.PortsFor(name))
+	if err != nil {
+		return "", err
+	}
+	return tree.String(), nil
+}
+
+// SchemeCost is the gate-level hardware cost of one merge control.
+type SchemeCost = cost.SchemeCost
+
+// Cost computes the transistor count and gate-delay depth of the named
+// scheme's thread merge control on machine m (the paper's Figure 9).
+func Cost(m Machine, scheme string) (SchemeCost, error) {
+	return cost.ForScheme(m, scheme)
+}
+
+// ControlPoint is one thread-count sample of the merge-control scaling
+// comparison (the paper's Figure 5).
+type ControlPoint = cost.ControlPoint
+
+// CostScaling compares CSMT-serial, CSMT-parallel and SMT merge controls
+// from minThreads to maxThreads on machine m.
+func CostScaling(m Machine, minThreads, maxThreads int) ([]ControlPoint, error) {
+	return cost.ControlScaling(m, minThreads, maxThreads)
+}
+
+// KernelBuilder constructs custom workload kernels in the dataflow IR:
+// blocks of operations with explicit dependencies, loop/branch behaviours
+// and memory address streams.
+type KernelBuilder = ir.Builder
+
+// NewKernel starts a custom kernel with the given name.
+func NewKernel(name string) *KernelBuilder { return ir.NewBuilder(name) }
+
+// Kernel is a finished IR function, ready to compile.
+type Kernel = ir.Function
+
+// MemStream describes the address behaviour of a memory reference site.
+type MemStream = ir.MemStream
+
+// Address stream generators for MemStream.Kind.
+const (
+	StreamStride = ir.StreamStride
+	StreamRandom = ir.StreamRandom
+	StreamChase  = ir.StreamChase
+)
+
+// Branch behaviours for KernelBuilder.Branch.
+var (
+	Loop      = ir.Loop
+	Bernoulli = ir.Bernoulli
+	Always    = ir.Always
+	Never     = ir.Never
+)
+
+// CompileKernel lowers a kernel for machine m, optionally unrolling
+// self-loop blocks by the given factor (values below 2 disable unrolling).
+func CompileKernel(k *Kernel, m Machine, unroll int) (*Program, error) {
+	return compiler.Compile(k, compiler.Options{Machine: m, Unroll: unroll})
+}
+
+// SingleThreadIPC is a convenience wrapper: it runs one program alone on
+// the machine and reports its IPC, with real caches (perfect=false) or an
+// ideal memory system (perfect=true) — the paper's IPCr and IPCp.
+func SingleThreadIPC(m Machine, p *Program, instrLimit int64, perfect bool) (float64, error) {
+	cfg := DefaultConfig()
+	cfg.Machine = m
+	cfg.Contexts = 1
+	cfg.PerfectMemory = perfect
+	cfg.InstrLimit = instrLimit
+	res, err := Run(cfg, []Task{{Name: p.Name, Prog: p}})
+	if err != nil {
+		return 0, err
+	}
+	if res.TimedOut {
+		return 0, fmt.Errorf("vliwmt: run timed out after %d cycles", res.Cycles)
+	}
+	return res.IPC, nil
+}

@@ -8,6 +8,7 @@
 package vliwmt_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -147,6 +148,39 @@ func BenchmarkFigure11And12(b *testing.B) {
 	}
 	b.ReportMetric(frac, "2SC3/3SSS-IPC")
 }
+
+// --- Sweep engine benches ---------------------------------------------
+
+// benchSweep pushes the full Figure 10 grid (16 schemes x 9 mixes, 144
+// jobs) through the public sweep API and reports throughput.
+func benchSweep(b *testing.B, workers int) {
+	grid := vliwmt.Grid{InstrLimit: 10_000, Seed: 1}
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		results, err := vliwmt.Sweep(context.Background(), grid, &vliwmt.SweepOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if _, err := r.IPC(); err != nil {
+				b.Fatal(err)
+			}
+			jobs++
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
+// BenchmarkSweepGrid runs the grid at full parallelism (one worker per
+// core); compare with BenchmarkSweepGridSerial for the engine's speedup.
+func BenchmarkSweepGrid(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSweepGridSerial pins the same sweep to a single worker — the
+// serial baseline the worker pool is measured against.
+func BenchmarkSweepGridSerial(b *testing.B) { benchSweep(b, 1) }
 
 // --- Micro-benchmarks -----------------------------------------------
 

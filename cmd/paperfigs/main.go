@@ -27,9 +27,11 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"vliwmt/internal/experiments"
 	"vliwmt/internal/report"
+	"vliwmt/internal/sweep"
 	"vliwmt/internal/workload"
 )
 
@@ -37,24 +39,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfigs: ")
 	var (
-		all    = flag.Bool("all", false, "emit every table and figure")
-		table1 = flag.Bool("table1", false, "Table 1")
-		table2 = flag.Bool("table2", false, "Table 2")
-		fig4   = flag.Bool("fig4", false, "Figure 4")
-		fig5   = flag.Bool("fig5", false, "Figure 5")
-		fig6   = flag.Bool("fig6", false, "Figure 6")
-		fig9   = flag.Bool("fig9", false, "Figure 9")
-		fig10  = flag.Bool("fig10", false, "Figure 10")
-		fig11  = flag.Bool("fig11", false, "Figure 11")
-		fig12  = flag.Bool("fig12", false, "Figure 12")
-		ext8   = flag.Bool("ext8", false, "extension: 8-thread scaling (beyond the paper)")
-		instrs = flag.Int64("instrs", 500_000, "per-thread instruction budget")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
+		all     = flag.Bool("all", false, "emit every table and figure")
+		table1  = flag.Bool("table1", false, "Table 1")
+		table2  = flag.Bool("table2", false, "Table 2")
+		fig4    = flag.Bool("fig4", false, "Figure 4")
+		fig5    = flag.Bool("fig5", false, "Figure 5")
+		fig6    = flag.Bool("fig6", false, "Figure 6")
+		fig9    = flag.Bool("fig9", false, "Figure 9")
+		fig10   = flag.Bool("fig10", false, "Figure 10")
+		fig11   = flag.Bool("fig11", false, "Figure 11")
+		fig12   = flag.Bool("fig12", false, "Figure 12")
+		ext8    = flag.Bool("ext8", false, "extension: 8-thread scaling (beyond the paper)")
+		instrs  = flag.Int64("instrs", 500_000, "per-thread instruction budget")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "sweep worker pool size (0: all cores); results are identical at any count")
 	)
 	flag.Parse()
 	opts := experiments.DefaultOptions().Scale(*instrs)
 	opts.Seed = *seed
+	opts.Workers = *workers
+	effWorkers := sweep.PoolSize(*workers)
 	w := os.Stdout
+
+	// timed prints each figure's wall-clock cost, making the sweep
+	// engine's parallel speedup visible: compare -workers 1 with the
+	// default.
+	timed := func(name string) func() {
+		start := time.Now()
+		return func() {
+			fmt.Fprintf(w, "[%s: %.2fs wall clock at %d workers]\n\n", name, time.Since(start).Seconds(), effWorkers)
+		}
+	}
 
 	any := false
 	want := func(f *bool) bool {
@@ -66,6 +81,7 @@ func main() {
 	}
 
 	if want(table1) {
+		done := timed("Table 1")
 		rows, err := experiments.Table1(opts)
 		if err != nil {
 			log.Fatal(err)
@@ -78,7 +94,7 @@ func main() {
 				report.F(r.PaperIPCr), report.F(r.PaperIPCp)})
 		}
 		report.Table(w, []string{"benchmark", "ilp", "description", "IPCr", "IPCp", "paper IPCr", "paper IPCp"}, tr)
-		fmt.Fprintln(w)
+		done()
 	}
 
 	if want(table2) {
@@ -92,6 +108,7 @@ func main() {
 	}
 
 	if want(fig4) {
+		done := timed("Figure 4")
 		f, err := experiments.Fig4(opts)
 		if err != nil {
 			log.Fatal(err)
@@ -100,8 +117,9 @@ func main() {
 		report.BarChart(w, "average IPC over the nine workloads",
 			[]string{"Single-thread", "2-Thread SMT (1S)", "4-Thread SMT (3SSS)"},
 			[]float64{f.SingleThread, f.TwoThread, f.FourThread}, 48)
-		fmt.Fprintf(w, "4-thread over 2-thread advantage: %s (paper: +61%%)\n\n",
+		fmt.Fprintf(w, "4-thread over 2-thread advantage: %s (paper: +61%%)\n",
 			report.Percent(100*(f.FourThread-f.TwoThread)/f.TwoThread))
+		done()
 	}
 
 	if want(fig5) {
@@ -137,6 +155,7 @@ func main() {
 	}
 
 	if want(fig6) {
+		done := timed("Figure 6")
 		rows, err := experiments.Fig6(opts)
 		if err != nil {
 			log.Fatal(err)
@@ -157,7 +176,7 @@ func main() {
 		report.Table(w, []string{"workload", "SMT IPC", "CSMT IPC", "advantage"}, tr)
 		report.BarChart(w, "advantage (%)", labels, values, 40)
 		fmt.Fprintln(w, "(paper: average +27%, maximum +58% on LLHH)")
-		fmt.Fprintln(w)
+		done()
 	}
 
 	if want(fig9) {
@@ -182,11 +201,13 @@ func main() {
 	var fig10Rows []experiments.Figure10Row
 	fig10Needed := *all || *fig10 || *fig11 || *fig12
 	if fig10Needed {
+		done := timed("Figure 10 sweep (16 schemes x 9 mixes)")
 		var err error
 		fig10Rows, err = experiments.Fig10(opts)
 		if err != nil {
 			log.Fatal(err)
 		}
+		done()
 		any = true
 	}
 
@@ -222,6 +243,7 @@ func main() {
 	}
 
 	if want(ext8) {
+		done := timed("Extension: 8 threads")
 		rows, err := experiments.Scaling8(opts)
 		if err != nil {
 			log.Fatal(err)
@@ -233,7 +255,7 @@ func main() {
 				fmt.Sprint(r.Transistors), fmt.Sprint(r.GateDelays)})
 		}
 		report.Table(w, []string{"scheme", "structure", "IPC", "transistors", "gate delays"}, tr)
-		fmt.Fprintln(w)
+		done()
 	}
 
 	if !any {

@@ -1,0 +1,3 @@
+module vliwmt
+
+go 1.24

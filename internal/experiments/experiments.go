@@ -2,17 +2,23 @@
 // evaluation: one driver per experiment, shared by cmd/paperfigs (full-size
 // runs), the root-level benchmark harness and the test suite (scaled-down
 // runs).
+//
+// Every simulation-based driver expands its measurements into a job set
+// and executes it on the internal/sweep worker pool, so independent runs
+// use all available cores while results stay bit-identical to a serial
+// sweep: jobs are seeded identically and aggregated by job index, not by
+// completion order.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"vliwmt/internal/cache"
 	"vliwmt/internal/cost"
 	"vliwmt/internal/isa"
 	"vliwmt/internal/merge"
-	"vliwmt/internal/program"
-	"vliwmt/internal/sim"
+	"vliwmt/internal/sweep"
 	"vliwmt/internal/workload"
 )
 
@@ -28,6 +34,11 @@ type Options struct {
 	// Timeslice is the OS scheduling quantum in cycles.
 	Timeslice int64
 	Seed      uint64
+	// Workers bounds the sweep-engine worker pool; 0 selects
+	// runtime.NumCPU(). Results are identical at any worker count.
+	Workers int
+	// Progress, when set, observes every completed simulation job.
+	Progress sweep.ProgressFunc
 }
 
 // DefaultOptions returns the paper's machine with a 300k-instruction
@@ -60,41 +71,51 @@ func (o Options) Scale(instrLimit int64) Options {
 	return o
 }
 
-// compiled caches compiled programs per benchmark.
-type compiled map[string]*program.Program
-
-func compileAll(opts Options) (compiled, error) {
-	out := compiled{}
-	for _, b := range workload.Benchmarks() {
-		p, err := b.Compile(opts.Machine)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: compile %s: %w", b.Name, err)
-		}
-		out[b.Name] = p
-	}
-	return out, nil
+// engine builds a sweep engine for one driver call. All drivers share
+// the process-wide compile cache, so a paperfigs -all run compiles each
+// kernel once, not once per figure.
+func (o Options) engine() *sweep.Engine {
+	e := sweep.New(o.Workers)
+	e.SetCache(sweep.SharedCache())
+	e.SetProgress(o.Progress)
+	return e
 }
 
-func (c compiled) tasks(names ...string) []sim.Task {
-	var ts []sim.Task
-	for _, n := range names {
-		ts = append(ts, sim.Task{Name: n, Prog: c[n]})
-	}
-	return ts
-}
-
-func (opts Options) config(contexts int, scheme string, perfect bool) sim.Config {
-	return sim.Config{
-		Machine:         opts.Machine,
-		ICache:          opts.ICache,
-		DCache:          opts.DCache,
-		PerfectMemory:   perfect,
-		Contexts:        contexts,
+// job expresses one measurement as a sweep job. Every job of a driver
+// shares the options seed — exactly the serial drivers' behaviour, and
+// required for the paper's scheme identities (C4 vs 3CCC) to hold.
+func (o Options) job(label, scheme string, contexts int, perfect bool, benches ...string) sweep.Job {
+	return sweep.Job{
+		Label:           label,
 		Scheme:          scheme,
-		TimesliceCycles: opts.Timeslice,
-		InstrLimit:      opts.InstrLimit,
-		Seed:            opts.Seed,
+		Contexts:        contexts,
+		Benchmarks:      benches,
+		Machine:         o.Machine,
+		ICache:          o.ICache,
+		DCache:          o.DCache,
+		PerfectMemory:   perfect,
+		InstrLimit:      o.InstrLimit,
+		TimesliceCycles: o.Timeslice,
+		Seed:            o.Seed,
 	}
+}
+
+// run executes the job set and returns per-job IPCs in submission order,
+// converting timeouts and job failures into errors.
+func (o Options) run(jobs []sweep.Job) ([]float64, error) {
+	results, err := o.engine().Run(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	ipcs := make([]float64, len(results))
+	for i, r := range results {
+		ipc, err := r.IPC()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		ipcs[i] = ipc
+	}
+	return ipcs, nil
 }
 
 // Table1Row is one benchmark's measured single-thread behaviour next to
@@ -111,41 +132,36 @@ type Table1Row struct {
 // Table1 measures IPCr (real caches) and IPCp (perfect memory) for every
 // benchmark on a single-thread processor.
 func Table1(opts Options) ([]Table1Row, error) {
-	progs, err := compileAll(opts)
+	benches := workload.Benchmarks()
+	var jobs []sweep.Job
+	for _, b := range benches {
+		jobs = append(jobs,
+			opts.job(b.Name+"/real", "", 1, false, b.Name),
+			opts.job(b.Name+"/perfect", "", 1, true, b.Name))
+	}
+	ipcs, err := opts.run(jobs)
 	if err != nil {
 		return nil, err
 	}
 	var rows []Table1Row
-	for _, b := range workload.Benchmarks() {
-		row := Table1Row{Name: b.Name, Class: b.Class, Description: b.Description,
-			PaperIPCr: b.PaperIPCr, PaperIPCp: b.PaperIPCp}
-		for _, perfect := range []bool{false, true} {
-			res, err := sim.Run(opts.config(1, "", perfect), progs.tasks(b.Name))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: table1 %s: %w", b.Name, err)
-			}
-			if perfect {
-				row.IPCp = res.IPC
-			} else {
-				row.IPCr = res.IPC
-			}
-		}
-		rows = append(rows, row)
+	for i, b := range benches {
+		rows = append(rows, Table1Row{
+			Name: b.Name, Class: b.Class, Description: b.Description,
+			IPCr: ipcs[2*i], IPCp: ipcs[2*i+1],
+			PaperIPCr: b.PaperIPCr, PaperIPCp: b.PaperIPCp,
+		})
 	}
 	return rows, nil
 }
 
-// runMix simulates one Table 2 mix under the given context count and
-// scheme, returning the achieved IPC.
-func runMix(opts Options, progs compiled, mix workload.Mix, contexts int, scheme string) (float64, error) {
-	res, err := sim.Run(opts.config(contexts, scheme, false), progs.tasks(mix.Members[:]...))
-	if err != nil {
-		return 0, fmt.Errorf("experiments: mix %s scheme %s: %w", mix.Name, scheme, err)
+// mixJob expresses "run this Table 2 mix under this scheme and context
+// count" as a sweep job.
+func (o Options) mixJob(mix workload.Mix, contexts int, scheme string) sweep.Job {
+	label := mix.Name + "/" + scheme
+	if scheme == "" {
+		label = mix.Name + "/ST"
 	}
-	if res.TimedOut {
-		return 0, fmt.Errorf("experiments: mix %s scheme %s timed out", mix.Name, scheme)
-	}
-	return res.IPC, nil
+	return o.job(label, scheme, contexts, false, mix.Members[:]...)
 }
 
 // Figure4 holds the average SMT IPC at one, two and four hardware threads
@@ -158,33 +174,28 @@ type Figure4 struct {
 
 // Fig4 computes Figure 4.
 func Fig4(opts Options) (Figure4, error) {
-	progs, err := compileAll(opts)
+	mixes := workload.Mixes()
+	var jobs []sweep.Job
+	for _, mix := range mixes {
+		jobs = append(jobs,
+			opts.mixJob(mix, 1, ""),
+			opts.mixJob(mix, 2, "1S"),
+			opts.mixJob(mix, 4, "3SSS"))
+	}
+	ipcs, err := opts.run(jobs)
 	if err != nil {
 		return Figure4{}, err
 	}
 	var f Figure4
-	n := 0
-	for _, mix := range workload.Mixes() {
-		one, err := runMix(opts, progs, mix, 1, "")
-		if err != nil {
-			return f, err
-		}
-		two, err := runMix(opts, progs, mix, 2, "1S")
-		if err != nil {
-			return f, err
-		}
-		four, err := runMix(opts, progs, mix, 4, "3SSS")
-		if err != nil {
-			return f, err
-		}
-		f.SingleThread += one
-		f.TwoThread += two
-		f.FourThread += four
-		n++
+	for i := range mixes {
+		f.SingleThread += ipcs[3*i]
+		f.TwoThread += ipcs[3*i+1]
+		f.FourThread += ipcs[3*i+2]
 	}
-	f.SingleThread /= float64(n)
-	f.TwoThread /= float64(n)
-	f.FourThread /= float64(n)
+	n := float64(len(mixes))
+	f.SingleThread /= n
+	f.TwoThread /= n
+	f.FourThread /= n
 	return f, nil
 }
 
@@ -203,26 +214,26 @@ type Figure6Row struct {
 // Fig6 computes Figure 6: the 4-thread SMT (3SSS) advantage over 4-thread
 // CSMT (3CCC) per workload, plus the average as the final row.
 func Fig6(opts Options) ([]Figure6Row, error) {
-	progs, err := compileAll(opts)
+	mixes := workload.Mixes()
+	var jobs []sweep.Job
+	for _, mix := range mixes {
+		jobs = append(jobs,
+			opts.mixJob(mix, 4, "3SSS"),
+			opts.mixJob(mix, 4, "3CCC"))
+	}
+	ipcs, err := opts.run(jobs)
 	if err != nil {
 		return nil, err
 	}
 	var rows []Figure6Row
 	var sum float64
-	for _, mix := range workload.Mixes() {
-		smt, err := runMix(opts, progs, mix, 4, "3SSS")
-		if err != nil {
-			return nil, err
-		}
-		csmt, err := runMix(opts, progs, mix, 4, "3CCC")
-		if err != nil {
-			return nil, err
-		}
+	for i, mix := range mixes {
+		smt, csmt := ipcs[2*i], ipcs[2*i+1]
 		adv := 100 * (smt - csmt) / csmt
 		rows = append(rows, Figure6Row{Mix: mix.Name, SMT: smt, CSMT: csmt, AdvantagePc: adv})
 		sum += adv
 	}
-	rows = append(rows, Figure6Row{Mix: "Average", AdvantagePc: sum / float64(len(workload.Mixes()))})
+	rows = append(rows, Figure6Row{Mix: "Average", AdvantagePc: sum / float64(len(mixes))})
 	return rows, nil
 }
 
@@ -247,30 +258,35 @@ func Fig10Schemes() []string {
 	}
 }
 
-// Fig10 simulates every scheme on every workload. The final row holds the
+// Fig10 simulates every scheme on every workload — the repository's
+// largest sweep (16 schemes x 9 mixes). The final row holds the
 // per-scheme averages ("Average").
 func Fig10(opts Options) ([]Figure10Row, error) {
-	progs, err := compileAll(opts)
+	mixes := workload.Mixes()
+	schemes := Fig10Schemes()
+	var jobs []sweep.Job
+	for _, mix := range mixes {
+		for _, scheme := range schemes {
+			jobs = append(jobs, opts.mixJob(mix, merge.PortsFor(scheme), scheme))
+		}
+	}
+	ipcs, err := opts.run(jobs)
 	if err != nil {
 		return nil, err
 	}
 	avg := Figure10Row{Mix: "Average", IPC: map[string]float64{}}
 	var rows []Figure10Row
-	for _, mix := range workload.Mixes() {
+	for i, mix := range mixes {
 		row := Figure10Row{Mix: mix.Name, IPC: map[string]float64{}}
-		for _, scheme := range Fig10Schemes() {
-			contexts := merge.PortsFor(scheme)
-			ipc, err := runMix(opts, progs, mix, contexts, scheme)
-			if err != nil {
-				return nil, err
-			}
+		for j, scheme := range schemes {
+			ipc := ipcs[i*len(schemes)+j]
 			row.IPC[scheme] = ipc
 			avg.IPC[scheme] += ipc
 		}
 		rows = append(rows, row)
 	}
 	for s := range avg.IPC {
-		avg.IPC[s] /= float64(len(workload.Mixes()))
+		avg.IPC[s] /= float64(len(mixes))
 	}
 	return append(rows, avg), nil
 }

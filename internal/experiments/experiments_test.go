@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"vliwmt/internal/isa"
@@ -82,7 +84,44 @@ func TestFig6Shape(t *testing.T) {
 	}
 }
 
+// TestFig10WorkerCountInvariance asserts the acceptance criterion of the
+// sweep-engine refactor: the full 16-scheme x 9-mix sweep produces
+// byte-identical numbers at every worker count.
+func TestFig10WorkerCountInvariance(t *testing.T) {
+	render := func(rows []Figure10Row) string {
+		var b strings.Builder
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s:", r.Mix)
+			for _, s := range Fig10Schemes() {
+				fmt.Fprintf(&b, " %s=%.15f", s, r.IPC[s])
+			}
+			fmt.Fprintln(&b)
+		}
+		return b.String()
+	}
+	// A small budget keeps this affordable under -race in CI; the
+	// engine-level 1/4/16 invariance test lives in internal/sweep.
+	opts := DefaultOptions().Scale(5_000)
+	var want string
+	for _, workers := range []int{1, 16} {
+		opts.Workers = workers
+		rows, err := Fig10(opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := render(rows)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("workers=%d changed the Fig10 numbers", workers)
+		}
+	}
+}
+
 func TestFig10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-budget Fig10 sweep (144 simulations) skipped in -short")
+	}
 	opts := testOpts()
 	rows, err := Fig10(opts)
 	if err != nil {

@@ -5,7 +5,7 @@ import (
 
 	"vliwmt/internal/cost"
 	"vliwmt/internal/merge"
-	"vliwmt/internal/sim"
+	"vliwmt/internal/sweep"
 )
 
 // ScalingRow is one 8-thread design point: performance on an
@@ -44,27 +44,20 @@ var scaling8Workload = []string{
 // keep most of its performance at CSMT-like cost. Returns one row per
 // scheme in Scaling8Schemes order.
 func Scaling8(opts Options) ([]ScalingRow, error) {
-	progs, err := compileAll(opts)
+	schemes := Scaling8Schemes()
+	var jobs []sweep.Job
+	for _, scheme := range schemes {
+		jobs = append(jobs, opts.job("8T/"+scheme, scheme, 8, false, scaling8Workload...))
+	}
+	ipcs, err := opts.run(jobs)
 	if err != nil {
 		return nil, err
 	}
-	var tasks []sim.Task
-	for _, name := range scaling8Workload {
-		tasks = append(tasks, sim.Task{Name: name, Prog: progs[name]})
-	}
 	var rows []ScalingRow
-	for _, scheme := range Scaling8Schemes() {
+	for i, scheme := range schemes {
 		tree, err := merge.Parse(scheme, 8)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scaling scheme %s: %w", scheme, err)
-		}
-		cfg := opts.config(8, scheme, false)
-		res, err := sim.Run(cfg, tasks)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scaling run %s: %w", scheme, err)
-		}
-		if res.TimedOut {
-			return nil, fmt.Errorf("experiments: scaling run %s timed out", scheme)
 		}
 		sc, err := cost.ForScheme(opts.Machine, scheme)
 		if err != nil {
@@ -73,7 +66,7 @@ func Scaling8(opts Options) ([]ScalingRow, error) {
 		rows = append(rows, ScalingRow{
 			Scheme:      scheme,
 			Structure:   tree.String(),
-			IPC:         res.IPC,
+			IPC:         ipcs[i],
 			Transistors: sc.Transistors,
 			GateDelays:  sc.GateDelays,
 		})

@@ -1,0 +1,28 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+)
+
+// JSON writes v as indented JSON followed by a newline — the machine
+// interface of cmd/vliwsweep.
+func JSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// CSV writes a header row followed by the data rows (RFC 4180 quoting).
+func CSV(w io.Writer, headers []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,29 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSON(t *testing.T) {
+	var b strings.Builder
+	if err := JSON(&b, []map[string]any{{"scheme": "2SC3", "ipc": 4.5}}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"scheme": "2SC3"`) || !strings.HasSuffix(out, "\n") {
+		t.Errorf("unexpected JSON output: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"mix", "ipc"}, [][]string{{"LLHH", "4.770"}, {"has,comma", "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "mix,ipc\nLLHH,4.770\n\"has,comma\",1\n"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"vliwmt/internal/sim"
+)
+
+// ProgressFunc observes sweep progress: done jobs out of total, plus the
+// result that just completed. The engine serialises calls, so the
+// callback needs no locking of its own.
+type ProgressFunc func(done, total int, r Result)
+
+// Engine executes job sets on a bounded worker pool with a shared
+// compile cache. An Engine is safe for use by a single sweep at a time
+// per Run call; the compile cache it owns is shared across Runs, so
+// repeated sweeps on the same machine reuse compiled kernels.
+type Engine struct {
+	workers  int
+	cache    *CompileCache
+	progress ProgressFunc
+}
+
+// PoolSize resolves a requested worker count to the effective pool
+// size: values <= 0 select runtime.NumCPU(). It is the single owner of
+// that policy; CLIs reporting the effective count use it too.
+func PoolSize(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// New returns an engine running up to PoolSize(workers) jobs
+// concurrently, with a fresh private compile cache; attach the
+// process-wide one with SetCache(SharedCache()) to reuse kernels
+// across engines.
+func New(workers int) *Engine {
+	return &Engine{workers: PoolSize(workers), cache: NewCompileCache()}
+}
+
+// Workers returns the engine's concurrency bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache exposes the engine's compile cache (for stats and pre-warming).
+func (e *Engine) Cache() *CompileCache { return e.cache }
+
+// SetCache replaces the engine's compile cache, typically with
+// SharedCache() to share compiled kernels across engines.
+func (e *Engine) SetCache(c *CompileCache) {
+	if c != nil {
+		e.cache = c
+	}
+}
+
+// SetProgress installs a progress callback for subsequent Runs.
+func (e *Engine) SetProgress(fn ProgressFunc) { e.progress = fn }
+
+// Run executes every job and returns one Result per job, ordered by job
+// index regardless of completion order. Individual job failures are
+// collected on their Result (and joined into the returned error); they
+// do not stop the sweep. Cancelling ctx stops dispatching new jobs:
+// already-running jobs finish, skipped jobs carry the context's error,
+// and the partial results are returned with that error.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(jobs))
+	for i := range jobs {
+		results[i] = Result{Index: i, Job: jobs[i]}
+	}
+
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for i := range jobs {
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serialises progress callbacks and the done count
+		done int
+	)
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+					continue
+				}
+				start := time.Now()
+				res, err := e.runJob(jobs[i])
+				results[i].Res, results[i].Err = res, err
+				results[i].Elapsed = time.Since(start)
+				if e.progress != nil {
+					mu.Lock()
+					done++
+					e.progress(done, len(jobs), results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var errs []error
+	if err := ctx.Err(); err != nil {
+		// Jobs never handed to a worker keep the context error too.
+		for i := range results {
+			if results[i].Res == nil && results[i].Err == nil {
+				results[i].Err = err
+			}
+		}
+		errs = append(errs, err)
+	}
+	for i := range results {
+		if results[i].Err != nil && !errors.Is(results[i].Err, ctx.Err()) {
+			errs = append(errs, fmt.Errorf("job %d (%s): %w", i, results[i].Job.Describe(), results[i].Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runJob compiles the job's benchmarks through the shared cache and
+// simulates them.
+func (e *Engine) runJob(j Job) (*sim.Result, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	tasks := make([]sim.Task, 0, len(j.Benchmarks))
+	for _, name := range j.Benchmarks {
+		p, err := e.cache.Get(name, j.Machine)
+		if err != nil {
+			return nil, fmt.Errorf("compile %s: %w", name, err)
+		}
+		tasks = append(tasks, sim.Task{Name: name, Prog: p})
+	}
+	return sim.Run(j.config(), tasks)
+}

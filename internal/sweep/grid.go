@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"fmt"
+
+	"vliwmt/internal/cache"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
+	"vliwmt/internal/workload"
+)
+
+// DefaultSchemes returns the paper's sixteen Figure 9 schemes.
+func DefaultSchemes() []string { return merge.PaperSchemes4() }
+
+// Grid declares a factor cross-product of merge schemes and workload
+// mixes. Jobs expands it mix-major (all schemes of the first mix, then
+// the second), matching the paper's Figure 10 layout.
+//
+// Zero-valued fields assume the paper's defaults: Default machine and
+// caches, a 300k-instruction budget with a 1%-of-budget timeslice, and
+// seed 1.
+type Grid struct {
+	// Schemes are merge-control names; empty selects the paper's
+	// sixteen Figure 9 schemes.
+	Schemes []string
+	// Mixes are Table 2 mix names; empty selects all nine.
+	Mixes []string
+	// Machine, ICache, DCache configure the processor (zero: defaults).
+	Machine isa.Machine
+	ICache  cache.Config
+	DCache  cache.Config
+	// InstrLimit is the per-thread budget (zero: 300k, the scaled-down
+	// default that converges on the synthetic kernels).
+	InstrLimit int64
+	// TimesliceCycles is the OS quantum (zero: InstrLimit/100, floored
+	// at 1000, the paper's proportion).
+	TimesliceCycles int64
+	// Seed seeds the sweep. Each job derives its own seed from it and
+	// the job index (splitmix64), so results are deterministic at any
+	// worker count yet jobs are decorrelated.
+	Seed uint64
+	// SharedSeed gives every job the sweep seed verbatim instead of a
+	// derived one. Required when comparing schemes the paper treats as
+	// functionally identical (e.g. C4 vs 3CCC), where the OS scheduling
+	// sequence must match across jobs.
+	SharedSeed bool
+}
+
+// deriveSeed spreads the sweep seed over job indices (splitmix64).
+func deriveSeed(base uint64, idx int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// Jobs expands the grid into a job set, validating scheme and mix names.
+func (g Grid) Jobs() ([]Job, error) {
+	schemes := g.Schemes
+	if len(schemes) == 0 {
+		schemes = DefaultSchemes()
+	}
+	for _, s := range schemes {
+		if _, err := merge.NewSelector(s, merge.PortsFor(s)); err != nil {
+			return nil, fmt.Errorf("sweep: grid: scheme %s: %w", s, err)
+		}
+	}
+	mixNames := g.Mixes
+	if len(mixNames) == 0 {
+		for _, m := range workload.Mixes() {
+			mixNames = append(mixNames, m.Name)
+		}
+	}
+	machine := g.Machine
+	if machine.Clusters == 0 {
+		machine = isa.Default()
+	}
+	icache, dcache := g.ICache, g.DCache
+	if icache == (cache.Config{}) {
+		icache = cache.DefaultConfig()
+	}
+	if dcache == (cache.Config{}) {
+		dcache = cache.DefaultConfig()
+	}
+	instr := g.InstrLimit
+	if instr <= 0 {
+		instr = 300_000
+	}
+	slice := g.TimesliceCycles
+	if slice <= 0 {
+		slice = instr / 100
+		if slice < 1000 {
+			slice = 1000
+		}
+	}
+	base := g.Seed
+	if base == 0 {
+		base = 1
+	}
+
+	var jobs []Job
+	for _, mixName := range mixNames {
+		mix, err := workload.MixByName(mixName)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: grid: %w", err)
+		}
+		for _, scheme := range schemes {
+			seed := base
+			if !g.SharedSeed {
+				seed = deriveSeed(base, len(jobs))
+			}
+			jobs = append(jobs, Job{
+				Label:           mix.Name + "/" + scheme,
+				Scheme:          scheme,
+				Benchmarks:      append([]string(nil), mix.Members[:]...),
+				Machine:         machine,
+				ICache:          icache,
+				DCache:          dcache,
+				InstrLimit:      instr,
+				TimesliceCycles: slice,
+				Seed:            seed,
+			})
+		}
+	}
+	return jobs, nil
+}

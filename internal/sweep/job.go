@@ -1,0 +1,144 @@
+// Package sweep is the experiment-orchestration engine: it expresses a
+// simulation run as a declarative Job, expands factor grids (scheme x
+// workload mix) into job sets, and executes them on a bounded worker
+// pool with a shared memoizing compile cache, so a 16-scheme x 9-mix
+// sweep saturates every core instead of one.
+//
+// Results are aggregated deterministically: the returned slice is
+// ordered by job index regardless of completion order, and each job
+// carries its own seed, so the aggregate is bit-identical at any worker
+// count. The engine supports context cancellation (partial results are
+// returned), per-job error collection and progress callbacks.
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"vliwmt/internal/cache"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
+	"vliwmt/internal/sim"
+	"vliwmt/internal/workload"
+)
+
+// Job is one independent simulation: a workload (a list of Table 1
+// benchmark names) run under one merge scheme on one machine/cache
+// configuration. Jobs are plain values; the engine never mutates them.
+type Job struct {
+	// Label identifies the job in progress reports and results,
+	// e.g. "LLHH/2SC3". Optional; Describe derives one when empty.
+	Label string
+	// Scheme names the merge control ("3SSS", "2SC3", "C4", ...).
+	// Empty means no merging (single-context multitasking).
+	Scheme string
+	// Benchmarks are the software threads, by Table 1 benchmark name.
+	Benchmarks []string
+	// Contexts is the hardware context count; 0 derives it from the
+	// scheme (merge.PortsFor), or 1 when Scheme is empty.
+	Contexts int
+	// Machine, ICache and DCache describe the simulated processor.
+	Machine isa.Machine
+	ICache  cache.Config
+	DCache  cache.Config
+	// PerfectMemory disables the caches (the paper's IPCp runs).
+	PerfectMemory bool
+	// InstrLimit is the per-thread instruction budget.
+	InstrLimit int64
+	// TimesliceCycles is the OS scheduling quantum.
+	TimesliceCycles int64
+	// Seed drives OS scheduling and per-thread behaviours. The engine
+	// uses it verbatim; Grid derives per-job seeds from the sweep seed.
+	Seed uint64
+}
+
+// EffectiveContexts returns the hardware context count the job runs
+// with: Contexts when set, else derived from the scheme.
+func (j Job) EffectiveContexts() int {
+	if j.Contexts > 0 {
+		return j.Contexts
+	}
+	if j.Scheme == "" {
+		return 1
+	}
+	return merge.PortsFor(j.Scheme)
+}
+
+// Describe returns the job's label, deriving "bench+.../scheme" when no
+// explicit label was set.
+func (j Job) Describe() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	w := "?"
+	if len(j.Benchmarks) > 0 {
+		w = j.Benchmarks[0]
+		if len(j.Benchmarks) > 1 {
+			w += fmt.Sprintf("+%d", len(j.Benchmarks)-1)
+		}
+	}
+	s := j.Scheme
+	if s == "" {
+		s = "ST"
+	}
+	return w + "/" + s
+}
+
+// config lowers the job to a simulator configuration.
+func (j Job) config() sim.Config {
+	return sim.Config{
+		Machine:         j.Machine,
+		ICache:          j.ICache,
+		DCache:          j.DCache,
+		PerfectMemory:   j.PerfectMemory,
+		Contexts:        j.EffectiveContexts(),
+		Scheme:          j.Scheme,
+		TimesliceCycles: j.TimesliceCycles,
+		InstrLimit:      j.InstrLimit,
+		Seed:            j.Seed,
+	}
+}
+
+// Validate rejects jobs the engine cannot run.
+func (j Job) Validate() error {
+	if len(j.Benchmarks) == 0 {
+		return fmt.Errorf("sweep: job %s has no benchmarks", j.Describe())
+	}
+	for _, name := range j.Benchmarks {
+		if _, err := workload.ByName(name); err != nil {
+			return fmt.Errorf("sweep: job %s: %w", j.Describe(), err)
+		}
+	}
+	return nil
+}
+
+// Result is one job's outcome, delivered at the job's submission index.
+type Result struct {
+	// Index is the job's position in the submitted slice; the engine
+	// returns results ordered by it, independent of completion order.
+	Index int
+	Job   Job
+	// Res is the simulation outcome; nil when Err is set.
+	Res *sim.Result
+	// Err carries the job's failure, or the sweep context's error for
+	// jobs skipped after cancellation.
+	Err error
+	// Elapsed is the job's wall-clock simulation time. It is the only
+	// non-deterministic field of a Result.
+	Elapsed time.Duration
+}
+
+// IPC returns the achieved IPC, or an error if the job failed or the
+// simulation hit its cycle bound before retiring the budget.
+func (r Result) IPC() (float64, error) {
+	if r.Err != nil {
+		return 0, r.Err
+	}
+	if r.Res == nil {
+		return 0, fmt.Errorf("sweep: job %s has no result", r.Job.Describe())
+	}
+	if r.Res.TimedOut {
+		return 0, fmt.Errorf("sweep: job %s timed out after %d cycles", r.Job.Describe(), r.Res.Cycles)
+	}
+	return r.Res.IPC, nil
+}

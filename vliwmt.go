@@ -16,7 +16,10 @@
 //   - the twelve Table 1 benchmarks and nine Table 2 workload mixes
 //     (Benchmarks, Mixes),
 //   - a gate-level hardware cost model of every merge control
-//     (SchemeCost, CostScaling).
+//     (SchemeCost, CostScaling),
+//   - a parallel sweep engine that runs scheme x mix experiment grids on
+//     a worker pool with a shared compile cache and deterministic
+//     aggregation (Sweep, Grid, SweepResult).
 //
 // The quickest start:
 //
@@ -27,6 +30,7 @@
 package vliwmt
 
 import (
+	"context"
 	"fmt"
 
 	"vliwmt/internal/cache"
@@ -37,6 +41,7 @@ import (
 	"vliwmt/internal/merge"
 	"vliwmt/internal/program"
 	"vliwmt/internal/sim"
+	"vliwmt/internal/sweep"
 	"vliwmt/internal/workload"
 )
 
@@ -186,6 +191,58 @@ var (
 // self-loop blocks by the given factor (values below 2 disable unrolling).
 func CompileKernel(k *Kernel, m Machine, unroll int) (*Program, error) {
 	return compiler.Compile(k, compiler.Options{Machine: m, Unroll: unroll})
+}
+
+// Grid declares a scheme x workload-mix cross-product for Sweep: which
+// merge schemes to evaluate on which Table 2 mixes, on what machine and
+// budget. Zero-valued fields assume the paper's defaults; see the field
+// documentation for seeding modes (per-job derived seeds versus a shared
+// seed for scheme-identity comparisons).
+type Grid = sweep.Grid
+
+// SweepJob is one independent simulation of a sweep: a benchmark list
+// run under one merge scheme on one machine configuration.
+type SweepJob = sweep.Job
+
+// SweepResult is one job's outcome. Results are always delivered ordered
+// by job index, independent of completion order, so aggregated output is
+// bit-identical at any worker count.
+type SweepResult = sweep.Result
+
+// SweepOptions tunes sweep execution.
+type SweepOptions struct {
+	// Workers bounds the worker pool; 0 selects runtime.NumCPU().
+	Workers int
+	// Progress, when set, is called after each job completes (done jobs,
+	// total jobs, the completed result). Calls are serialised.
+	Progress func(done, total int, r SweepResult)
+}
+
+// Sweep expands the grid into jobs and executes them on a bounded worker
+// pool with a shared compile cache: each benchmark kernel is compiled
+// once per sweep, independent simulations run in parallel, and results
+// come back deterministically ordered. Cancelling ctx stops dispatching
+// and returns the partial results with ctx's error.
+func Sweep(ctx context.Context, g Grid, opts *SweepOptions) ([]SweepResult, error) {
+	jobs, err := g.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return SweepJobs(ctx, jobs, opts)
+}
+
+// SweepJobs executes an explicit job set on the worker pool; see Sweep.
+func SweepJobs(ctx context.Context, jobs []SweepJob, opts *SweepOptions) ([]SweepResult, error) {
+	var o SweepOptions
+	if opts != nil {
+		o = *opts
+	}
+	e := sweep.New(o.Workers)
+	e.SetCache(sweep.SharedCache())
+	if o.Progress != nil {
+		e.SetProgress(o.Progress)
+	}
+	return e.Run(ctx, jobs)
 }
 
 // SingleThreadIPC is a convenience wrapper: it runs one program alone on

@@ -1,6 +1,7 @@
 package vliwmt_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -130,5 +131,38 @@ func TestBenchmarksAndMixes(t *testing.T) {
 	}
 	if len(vliwmt.Mixes()) != 9 {
 		t.Error("not 9 mixes")
+	}
+}
+
+func TestSweepEndToEnd(t *testing.T) {
+	grid := vliwmt.Grid{
+		Schemes:    []string{"2SC3", "3SSS"},
+		Mixes:      []string{"LLHH", "MMMM"},
+		InstrLimit: 10_000,
+		Seed:       1,
+	}
+	var calls int
+	results, err := vliwmt.Sweep(context.Background(), grid,
+		&vliwmt.SweepOptions{Workers: 4, Progress: func(done, total int, r vliwmt.SweepResult) { calls++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 || calls != 4 {
+		t.Fatalf("got %d results, %d progress calls, want 4 and 4", len(results), calls)
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d: aggregation not ordered", i, r.Index)
+		}
+		ipc, err := r.IPC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ipc <= 0 {
+			t.Errorf("%s: non-positive IPC", r.Job.Label)
+		}
+	}
+	if _, err := vliwmt.Sweep(context.Background(), vliwmt.Grid{Mixes: []string{"nonesuch"}}, nil); err == nil {
+		t.Error("Sweep accepted an unknown mix")
 	}
 }

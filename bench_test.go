@@ -182,6 +182,37 @@ func BenchmarkSweepGrid(b *testing.B) { benchSweep(b, 0) }
 // serial baseline the worker pool is measured against.
 func BenchmarkSweepGridSerial(b *testing.B) { benchSweep(b, 1) }
 
+// BenchmarkRunnerReuse quantifies the Runner session's shared-compile-
+// cache win: repeated RunMix calls on one long-lived Runner (kernels
+// compiled once, every later call served from the cache) against the
+// worst case of a fresh private-cache Runner per call (the pre-session
+// behaviour of the top-level functions, which compiled the mix from
+// scratch every time).
+func BenchmarkRunnerReuse(b *testing.B) {
+	cfg := vliwmt.DefaultConfig()
+	cfg.Scheme = "2SC3"
+	cfg.InstrLimit = 5_000
+	cfg.TimesliceCycles = 1_000
+	b.Run("SharedRunner", func(b *testing.B) {
+		r := vliwmt.NewRunner()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RunMix(cfg, "LLHH"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		compiles, hits := r.Cache().Stats()
+		b.ReportMetric(float64(compiles), "compiles")
+		b.ReportMetric(float64(hits), "cache-hits")
+	})
+	b.Run("FreshRunner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := vliwmt.NewRunner().RunMix(cfg, "LLHH"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Micro-benchmarks -----------------------------------------------
 
 // BenchmarkMergeSelect measures the behavioural merge-stage selection

@@ -1,0 +1,264 @@
+package vliwmt
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"vliwmt/internal/api"
+)
+
+// Client submits sweeps to a remote vliwserve instance (cmd/vliwserve)
+// over its versioned HTTP API and returns the same SweepResults as an
+// in-process call. The determinism contract crosses the wire: a grid
+// swept remotely is bit-identical (modulo wall-clock fields) to the
+// same grid swept in-process with the same seed, at any worker count
+// on either side.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL, e.g.
+// "http://localhost:8080". A bare host:port is given an http scheme.
+func NewClient(baseURL string) *Client {
+	u := strings.TrimRight(baseURL, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return &Client{baseURL: u, httpc: &http.Client{}}
+}
+
+// Ping checks that the server is up.
+func (c *Client) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("vliwmt: server health check: %s", resp.Status)
+	}
+	return nil
+}
+
+// Sweep submits the grid to the server, which expands it with the same
+// defaulting as in-process Grid.Jobs, streams progress into
+// opts.Progress, and returns the index-ordered results. Cancelling ctx
+// cancels the remote sweep (best-effort DELETE) and returns ctx's
+// error with any results the server had aggregated.
+func (c *Client) Sweep(ctx context.Context, g Grid, opts *SweepOptions) ([]SweepResult, error) {
+	ag := api.GridFrom(g)
+	return c.submit(ctx, api.SweepRequest{Grid: &ag}, opts)
+}
+
+// SweepJobs submits an explicit job set; see Sweep.
+func (c *Client) SweepJobs(ctx context.Context, jobs []SweepJob, opts *SweepOptions) ([]SweepResult, error) {
+	req := api.SweepRequest{Jobs: make([]api.Job, len(jobs))}
+	for i, j := range jobs {
+		req.Jobs[i] = api.JobFrom(j)
+	}
+	return c.submit(ctx, req, opts)
+}
+
+func (c *Client) submit(ctx context.Context, sreq api.SweepRequest, opts *SweepOptions) ([]SweepResult, error) {
+	var o SweepOptions
+	if opts != nil {
+		o = *opts
+	}
+	sreq.Workers = o.Workers
+
+	var body bytes.Buffer
+	if err := api.EncodeSweepRequest(&body, sreq); err != nil {
+		return nil, err
+	}
+	st, err := c.postJSON(ctx, "/v1/sweeps", &body)
+	if err != nil {
+		return nil, err
+	}
+
+	// Follow the event stream for progress and completion; if the
+	// stream breaks while the context is still live, fall back to
+	// polling the status endpoint.
+	delivered := map[int]bool{}
+	progress := o.Progress
+	if progress != nil {
+		inner := progress
+		progress = func(done, total int, r SweepResult) {
+			delivered[r.Index] = true
+			inner(done, total, r)
+		}
+	}
+	if err := c.follow(ctx, st.ID, st.Total, progress); err != nil {
+		if ctx.Err() != nil {
+			return c.abandon(st.ID, ctx.Err())
+		}
+		if err = c.poll(ctx, st.ID); err != nil {
+			if ctx.Err() != nil {
+				return c.abandon(st.ID, ctx.Err())
+			}
+			return nil, err
+		}
+	}
+
+	final, err := c.status(ctx, st.ID)
+	if err != nil {
+		if ctx.Err() != nil {
+			return c.abandon(st.ID, ctx.Err())
+		}
+		return nil, err
+	}
+	results := api.SweepResults(final.Results)
+	// A sweep that finished before the event stream attached replays
+	// only its terminal event, and a stream that broke mid-sweep
+	// delivered only a prefix; synthesize callbacks for the jobs the
+	// stream missed so the sink always sees every job exactly once.
+	if o.Progress != nil {
+		done := len(delivered)
+		for _, r := range results {
+			if !delivered[r.Index] {
+				done++
+				o.Progress(done, len(results), r)
+			}
+		}
+	}
+	if final.State == api.StateCanceled {
+		// Surface remote cancellation as context.Canceled so callers'
+		// errors.Is checks behave exactly as for in-process sweeps.
+		return results, fmt.Errorf("vliwmt: sweep %s canceled remotely: %w", final.ID, context.Canceled)
+	}
+	if final.Error != "" {
+		return results, errors.New(final.Error)
+	}
+	return results, nil
+}
+
+// abandon cancels the remote sweep and returns whatever the server had
+// aggregated, mirroring the in-process partial-results contract.
+func (c *Client) abandon(id string, cause error) ([]SweepResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.baseURL+"/v1/sweeps/"+id, nil)
+	if err == nil {
+		if resp, derr := c.httpc.Do(req); derr == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	var results []SweepResult
+	if st, serr := c.waitTerminal(ctx, id); serr == nil {
+		results = api.SweepResults(st.Results)
+	}
+	return results, cause
+}
+
+// follow consumes the NDJSON event stream until the terminal event.
+func (c *Client) follow(ctx context.Context, id string, total int, progress func(done, total int, r SweepResult)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("vliwmt: event stream: %s: %s", resp.Status, readError(resp.Body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.Event
+		if err := ev.UnmarshalLine(line); err != nil {
+			return err
+		}
+		if ev.Result != nil && progress != nil {
+			progress(ev.Done, ev.Total, ev.Result.Sweep())
+		}
+		if ev.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("vliwmt: event stream for sweep %s ended before the terminal event", id)
+}
+
+// poll watches the status endpoint until the sweep is terminal.
+func (c *Client) poll(ctx context.Context, id string) error {
+	_, err := c.waitTerminal(ctx, id)
+	return err
+}
+
+func (c *Client) waitTerminal(ctx context.Context, id string) (api.SweepStatus, error) {
+	for {
+		st, err := c.status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Client) status(ctx context.Context, id string) (api.SweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/sweeps/"+id, nil)
+	if err != nil {
+		return api.SweepStatus{}, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return api.SweepStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.SweepStatus{}, fmt.Errorf("vliwmt: sweep %s status: %s: %s", id, resp.Status, readError(resp.Body))
+	}
+	return api.DecodeSweepStatus(resp.Body)
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, body io.Reader) (api.SweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, body)
+	if err != nil {
+		return api.SweepStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return api.SweepStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return api.SweepStatus{}, fmt.Errorf("vliwmt: submit sweep: %s: %s", resp.Status, readError(resp.Body))
+	}
+	return api.DecodeSweepStatus(resp.Body)
+}
+
+// readError drains a small error body for diagnostics.
+func readError(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4<<10))
+	return strings.TrimSpace(string(b))
+}

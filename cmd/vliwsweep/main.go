@@ -8,11 +8,17 @@
 //	vliwsweep -schemes 2SC3,3SSS -mixes LLHH   # a sub-grid
 //	vliwsweep -workers 8 -instr 1000000 -seed 3 -format json
 //	vliwsweep -sharedseed -progress
+//	vliwsweep -addr localhost:8080 -mixes LLHH # same grid, remote vliwserve
 //
 // Every job derives its seed from -seed and its index, so output is
 // bit-identical at any -workers count; -sharedseed gives every job the
 // same seed instead (required when comparing schemes the paper treats as
 // functionally identical, e.g. C4 vs 3CCC).
+//
+// With -addr the grid is submitted to a running vliwserve instance
+// instead of the in-process engine; the determinism contract crosses
+// the wire, so the output is identical modulo the wall-clock fields
+// (elapsed_sec / time).
 package main
 
 import (
@@ -48,6 +54,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vliwsweep: ")
 	var (
+		addr       = flag.String("addr", "", "submit the grid to a remote vliwserve at this address instead of running in-process")
 		schemes    = flag.String("schemes", "", "comma-separated merge schemes (default: the paper's sixteen)")
 		mixes      = flag.String("mixes", "", "comma-separated Table 2 mixes (default: all nine)")
 		workers    = flag.Int("workers", 0, "worker pool size (0: runtime.NumCPU())")
@@ -107,7 +114,13 @@ func main() {
 	}()
 
 	start := time.Now()
-	results, err := vliwmt.Sweep(ctx, grid, opts)
+	var results []vliwmt.SweepResult
+	var err error
+	if *addr != "" {
+		results, err = vliwmt.NewClient(*addr).Sweep(ctx, grid, opts)
+	} else {
+		results, err = vliwmt.Sweep(ctx, grid, opts)
+	}
 	elapsed := time.Since(start)
 	if err != nil && results == nil {
 		log.Fatal(err)

@@ -1,0 +1,344 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"vliwmt/internal/cache"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/sim"
+	"vliwmt/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtures returns one fully populated value of every wire type; every
+// field is non-zero so a dropped or mis-tagged field breaks a test.
+func fixtureJob() Job {
+	return Job{
+		Label:           "LLHH/2SC3",
+		Scheme:          "2SC3",
+		Benchmarks:      []string{"mcf", "dijkstra", "colorspace", "fft"},
+		Contexts:        4,
+		Machine:         MachineFrom(isa.Default()),
+		ICache:          CacheConfigFrom(cache.DefaultConfig()),
+		DCache:          CacheConfigFrom(cache.DefaultConfig()),
+		PerfectMemory:   true,
+		InstrLimit:      300_000,
+		TimesliceCycles: 3_000,
+		Seed:            0xdeadbeefcafe0001,
+	}
+}
+
+func fixtureGrid() Grid {
+	return Grid{
+		Schemes:         []string{"2SC3", "3SSS"},
+		Mixes:           []string{"LLHH", "HHHH"},
+		Machine:         MachineFrom(isa.Default()),
+		ICache:          CacheConfigFrom(cache.DefaultConfig()),
+		DCache:          CacheConfigFrom(cache.DefaultConfig()),
+		InstrLimit:      20_000,
+		TimesliceCycles: 500,
+		Seed:            7,
+		SharedSeed:      true,
+	}
+}
+
+func fixtureResult() Result {
+	return Result{
+		Index: 3,
+		Job:   fixtureJob(),
+		Sim: &SimResult{
+			Cycles:    123_456,
+			Instrs:    300_000,
+			Ops:       911_222,
+			IPC:       7.380952380952381,
+			MergeHist: []int64{10, 20, 30, 40, 50},
+			Threads: []ThreadStats{
+				{Name: "mcf", Instrs: 100, Ops: 321, ScheduledCycles: 999, ConflictCycles: 5, StallMem: 7, StallFetch: 3, StallBranch: 11},
+				{Name: "fft", Instrs: 200, Ops: 654, ScheduledCycles: 888, ConflictCycles: 6, StallMem: 8, StallFetch: 4, StallBranch: 12},
+			},
+			ICache:      CacheStats{Accesses: 1000, Misses: 10, Writebacks: 1},
+			DCache:      CacheStats{Accesses: 2000, Misses: 20, Writebacks: 2},
+			IssueWidth:  16,
+			EmptyCycles: 42,
+			TimedOut:    true,
+		},
+		ElapsedSec: 1.25,
+	}
+}
+
+func fixtureRequest() SweepRequest {
+	g := fixtureGrid()
+	return SweepRequest{Version: Version, Grid: &g, Workers: 8, Tag: "nightly"}
+}
+
+// TestRoundTrips checks decode(encode(x)) == x for every exported
+// config and result type of the wire format.
+func TestRoundTrips(t *testing.T) {
+	g := fixtureGrid()
+	cases := []struct {
+		name string
+		in   any
+		out  any
+	}{
+		{"Machine", MachineFrom(isa.Default()), &Machine{}},
+		{"CacheConfig", CacheConfigFrom(cache.DefaultConfig()), &CacheConfig{}},
+		{"Job", fixtureJob(), &Job{}},
+		{"Grid", fixtureGrid(), &Grid{}},
+		{"Result", fixtureResult(), &Result{}},
+		{"SweepRequest", fixtureRequest(), &SweepRequest{}},
+		{"SweepStatus", SweepStatus{Version: Version, ID: "s000001", State: StateDone,
+			Done: 4, Total: 4, Results: []Result{fixtureResult()}, Error: "job 2 failed"}, &SweepStatus{}},
+		{"Event", Event{Done: 2, Total: 4, Result: func() *Result { r := fixtureResult(); return &r }()}, &Event{}},
+		{"zero Grid", Grid{}, &Grid{}},
+		{"zero Job", Job{}, &Job{}},
+		{"grid request", SweepRequest{Version: Version, Grid: &g}, &SweepRequest{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := json.Marshal(tc.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(b, tc.out); err != nil {
+				t.Fatal(err)
+			}
+			got := reflect.ValueOf(tc.out).Elem().Interface()
+			if !reflect.DeepEqual(got, tc.in) {
+				t.Errorf("round trip mismatch:\n got %#v\nwant %#v", got, tc.in)
+			}
+		})
+	}
+}
+
+// TestConversionsAreLossless checks that wire -> internal -> wire and
+// internal -> wire -> internal conversions preserve every field.
+func TestConversionsAreLossless(t *testing.T) {
+	m := isa.Default()
+	if got := MachineFrom(m).ISA(); got != m {
+		t.Errorf("machine: %+v != %+v", got, m)
+	}
+	cc := cache.DefaultConfig()
+	if got := CacheConfigFrom(cc).Config(); got != cc {
+		t.Errorf("cache: %+v != %+v", got, cc)
+	}
+	j := fixtureJob().Sweep()
+	if got := JobFrom(j).Sweep(); !reflect.DeepEqual(got, j) {
+		t.Errorf("job: %+v != %+v", got, j)
+	}
+	g := fixtureGrid().Sweep()
+	if got := GridFrom(g).Sweep(); !reflect.DeepEqual(got, g) {
+		t.Errorf("grid: %+v != %+v", got, g)
+	}
+
+	// A full sweep.Result with a live sim.Result round-trips every
+	// deterministic field; Err collapses to its message by design.
+	sr := sweep.Result{
+		Index:   2,
+		Job:     j,
+		Res:     func() *sim.Result { r := fixtureResult().Sim.Sim(); return &r }(),
+		Err:     errors.New("boom"),
+		Elapsed: 1500 * time.Millisecond,
+	}
+	got := ResultFrom(sr).Sweep()
+	if !reflect.DeepEqual(got.Res, sr.Res) {
+		t.Errorf("sim result: %+v != %+v", got.Res, sr.Res)
+	}
+	if got.Err == nil || got.Err.Error() != "boom" {
+		t.Errorf("err: %v", got.Err)
+	}
+	if got.Index != sr.Index || !reflect.DeepEqual(got.Job, sr.Job) || got.Elapsed != sr.Elapsed {
+		t.Errorf("envelope fields drifted: %+v", got)
+	}
+}
+
+// TestGridDefaultingMatchesInProcess checks the wire format's core
+// defaulting contract: a sparse document expands to exactly the job
+// set of the equivalent in-process Grid.
+func TestGridDefaultingMatchesInProcess(t *testing.T) {
+	for _, doc := range []string{
+		`{}`,
+		`{"schemes":["2SC3","C4"],"mixes":["LLHH"]}`,
+		`{"instr_limit":20000,"seed":9,"shared_seed":true}`,
+	} {
+		var g Grid
+		if err := json.Unmarshal([]byte(doc), &g); err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		want, err := g.Sweep().Jobs()
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		// Build the same sweep.Grid directly and compare expansions.
+		direct := sweep.Grid{Schemes: g.Schemes, Mixes: g.Mixes, InstrLimit: g.InstrLimit,
+			TimesliceCycles: g.TimesliceCycles, Seed: g.Seed, SharedSeed: g.SharedSeed}
+		got, err := direct.Jobs()
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: wire and in-process expansion differ", doc)
+		}
+		for _, j := range want[:1] {
+			if j.Machine.Clusters == 0 || j.ICache.Size == 0 || j.InstrLimit == 0 || j.TimesliceCycles == 0 || j.Seed == 0 {
+				t.Errorf("%s: defaults not applied: %+v", doc, j)
+			}
+		}
+	}
+}
+
+// TestGolden pins the wire format: encoding the fixtures must produce
+// the checked-in golden bytes, and decoding the golden bytes must
+// produce the fixtures. Run `go test ./internal/api -update` after an
+// intentional format change.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		file string
+		v    any
+		dec  func([]byte) (any, error)
+	}{
+		{"machine.golden.json", MachineFrom(isa.Default()), func(b []byte) (any, error) {
+			var v Machine
+			return v, json.Unmarshal(b, &v)
+		}},
+		{"job.golden.json", fixtureJob(), func(b []byte) (any, error) {
+			var v Job
+			return v, json.Unmarshal(b, &v)
+		}},
+		{"grid.golden.json", fixtureGrid(), func(b []byte) (any, error) {
+			var v Grid
+			return v, json.Unmarshal(b, &v)
+		}},
+		{"result.golden.json", fixtureResult(), func(b []byte) (any, error) {
+			var v Result
+			return v, json.Unmarshal(b, &v)
+		}},
+		{"request.golden.json", fixtureRequest(), func(b []byte) (any, error) {
+			var v SweepRequest
+			return v, json.Unmarshal(b, &v)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			got, err := json.MarshalIndent(tc.v, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/api -update` to create golden files)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire format drifted from golden file %s:\n got: %s\nwant: %s", tc.file, got, want)
+			}
+			back, err := tc.dec(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(back, tc.v) {
+				t.Errorf("decoding golden %s does not reproduce the fixture:\n got %#v\nwant %#v", tc.file, back, tc.v)
+			}
+		})
+	}
+}
+
+func TestVersionChecking(t *testing.T) {
+	if err := CheckVersion(0); err != nil {
+		t.Errorf("version 0 (pre-versioning) rejected: %v", err)
+	}
+	if err := CheckVersion(Version); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+	if err := CheckVersion(Version + 1); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := DecodeSweepRequest(strings.NewReader(`{"version":99,"grid":{}}`)); err == nil {
+		t.Error("future-versioned request accepted")
+	}
+	if _, err := DecodeSweepRequest(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("request without grid or jobs accepted")
+	}
+	if _, err := DecodeSweepRequest(strings.NewReader(`{"version":1,"grid":{}}`)); err != nil {
+		t.Errorf("minimal grid request rejected: %v", err)
+	}
+}
+
+// TestStoreRoundTrip checks the persistence stub: a successful sweep is
+// spilled and an identical job set is served back with every
+// deterministic field intact; different jobs miss; failed sweeps are
+// not cached.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := Store{Dir: dir}
+	jobs, err := sweep.Grid{Schemes: []string{"2SC3"}, Mixes: []string{"LLHH"}, InstrLimit: 1000}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(jobs); ok {
+		t.Fatal("empty store claims a hit")
+	}
+	res := fixtureResult().Sweep()
+	res.Index = 0
+	res.Err = nil
+	results := []sweep.Result{res}
+	if err := s.Save(jobs, results); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load(jobs)
+	if !ok {
+		t.Fatal("stored sweep not served back")
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Res, results[0].Res) {
+		t.Errorf("reloaded results drifted: %+v", got)
+	}
+
+	// A different seed is a different experiment: must miss.
+	other, err := sweep.Grid{Schemes: []string{"2SC3"}, Mixes: []string{"LLHH"}, InstrLimit: 1000, Seed: 2}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(other); ok {
+		t.Error("different job set served from another sweep's results")
+	}
+
+	// Failed sweeps are never cached.
+	failed := []sweep.Result{{Index: 0, Job: jobs[0], Err: errors.New("boom")}}
+	if err := s.Save(other, failed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load(other); ok {
+		t.Error("failed sweep was cached")
+	}
+
+	// Keys are stable content hashes: same jobs, same key.
+	k1, err := Key(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 || len(k1) != 64 {
+		t.Errorf("unstable or malformed key: %q vs %q", k1, k2)
+	}
+}

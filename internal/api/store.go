@@ -1,0 +1,125 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vliwmt/internal/sweep"
+)
+
+// Key returns the content hash identifying a job set: a SHA-256 over
+// the versioned wire encoding of every job. Because each job embeds its
+// machine, caches, seed and budget, two sweeps share a key exactly when
+// they are the same experiment — the determinism contract then
+// guarantees their results are identical, which is what makes serving
+// a repeat sweep from disk sound.
+func Key(jobs []sweep.Job) (string, error) {
+	payload := struct {
+		Version int   `json:"version"`
+		Jobs    []Job `json:"jobs"`
+	}{Version: Version, Jobs: make([]Job, len(jobs))}
+	for i, j := range jobs {
+		payload.Jobs[i] = JobFrom(j)
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("api: hash jobs: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Store spills completed sweep results to a directory as wire-format
+// JSON keyed by Key, and serves repeated identical sweeps back from
+// disk. Only fully successful sweeps are stored; a sweep with any
+// failed job is never cached, so transient failures cannot be pinned.
+type Store struct {
+	// Dir is the spill directory; it is created on first Save.
+	Dir string
+}
+
+// storeFile is the on-disk document: the key is stored alongside the
+// results so a (vanishingly unlikely) filename collision or a manually
+// copied file is detected instead of silently served.
+type storeFile struct {
+	Version int      `json:"version"`
+	Key     string   `json:"key"`
+	Results []Result `json:"results"`
+}
+
+func (s Store) path(key string) string {
+	return filepath.Join(s.Dir, "sweep-"+key+".json")
+}
+
+// Load returns the stored results for the job set, if present. A
+// missing, corrupt or mismatched file is a cache miss, not an error:
+// the caller falls through to running the sweep.
+func (s Store) Load(jobs []sweep.Job) ([]sweep.Result, bool) {
+	if s.Dir == "" || len(jobs) == 0 {
+		return nil, false
+	}
+	key, err := Key(jobs)
+	if err != nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var f storeFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, false
+	}
+	if CheckVersion(f.Version) != nil || f.Key != key || len(f.Results) != len(jobs) {
+		return nil, false
+	}
+	return SweepResults(f.Results), true
+}
+
+// Save spills a completed sweep to disk. Sweeps with any failed job
+// are skipped (returning nil): only results the determinism contract
+// vouches for are worth caching. The write is atomic (temp file +
+// rename) so concurrent writers and readers never see a torn file.
+func (s Store) Save(jobs []sweep.Job, results []sweep.Result) error {
+	if s.Dir == "" || len(results) != len(jobs) {
+		return nil
+	}
+	for _, r := range results {
+		if r.Err != nil || r.Res == nil {
+			return nil
+		}
+	}
+	key, err := Key(jobs)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return fmt.Errorf("api: store: %w", err)
+	}
+	b, err := json.MarshalIndent(storeFile{Version: Version, Key: key, Results: ResultsFrom(results)}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("api: store: encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.Dir, "sweep-*.tmp")
+	if err != nil {
+		return fmt.Errorf("api: store: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("api: store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("api: store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("api: store: %w", err)
+	}
+	return nil
+}

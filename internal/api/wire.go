@@ -1,0 +1,122 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// State is the lifecycle of a submitted sweep.
+type State string
+
+const (
+	// StateRunning means jobs are still executing.
+	StateRunning State = "running"
+	// StateDone means every job finished without a sweep-level error.
+	StateDone State = "done"
+	// StateFailed means the sweep finished but at least one job failed.
+	StateFailed State = "failed"
+	// StateCanceled means the sweep was canceled (DELETE, client
+	// disconnect in wait mode, or server shutdown) before completing.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// SweepRequest is the body of POST /v1/sweeps: either a declarative
+// Grid (expanded server-side with the same defaulting as in-process
+// Grid.Jobs) or an explicit job set. Workers is a hint for the server's
+// pool size; because sweep results are deterministic at any worker
+// count it never changes the results, only the wall-clock time.
+type SweepRequest struct {
+	Version int    `json:"version"`
+	Grid    *Grid  `json:"grid,omitempty"`
+	Jobs    []Job  `json:"jobs,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Tag     string `json:"tag,omitempty"`
+}
+
+// SweepStatus is the body of sweep submission and status responses.
+// Results are included once the sweep reaches a terminal state, ordered
+// by job index.
+type SweepStatus struct {
+	Version int      `json:"version"`
+	ID      string   `json:"id"`
+	State   State    `json:"state"`
+	Done    int      `json:"done"`
+	Total   int      `json:"total"`
+	Results []Result `json:"results,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Event is one line of the NDJSON progress stream
+// (GET /v1/sweeps/{id}/events): a per-job completion event carries the
+// result; the final event carries the terminal State instead.
+type Event struct {
+	Done   int     `json:"done"`
+	Total  int     `json:"total"`
+	Result *Result `json:"result,omitempty"`
+	State  State   `json:"state,omitempty"`
+}
+
+// Terminal reports whether this is the stream's final event.
+func (e Event) Terminal() bool { return e.State.Terminal() }
+
+// UnmarshalLine decodes one NDJSON stream line into the event.
+func (e *Event) UnmarshalLine(line []byte) error {
+	if err := json.Unmarshal(line, e); err != nil {
+		return fmt.Errorf("api: decode event: %w", err)
+	}
+	return nil
+}
+
+// CheckVersion validates a decoded document's version field: the
+// current Version and zero (pre-versioning documents) are accepted.
+func CheckVersion(v int) error {
+	if v != 0 && v != Version {
+		return fmt.Errorf("api: unsupported wire version %d (this build speaks %d)", v, Version)
+	}
+	return nil
+}
+
+// EncodeSweepRequest writes req as versioned JSON.
+func EncodeSweepRequest(w io.Writer, req SweepRequest) error {
+	req.Version = Version
+	return json.NewEncoder(w).Encode(req)
+}
+
+// DecodeSweepRequest reads and version-checks a sweep request.
+func DecodeSweepRequest(r io.Reader) (SweepRequest, error) {
+	var req SweepRequest
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return req, fmt.Errorf("api: decode sweep request: %w", err)
+	}
+	if err := CheckVersion(req.Version); err != nil {
+		return req, err
+	}
+	if req.Grid == nil && len(req.Jobs) == 0 {
+		return req, fmt.Errorf("api: sweep request has neither a grid nor jobs")
+	}
+	return req, nil
+}
+
+// EncodeSweepStatus writes st as versioned JSON.
+func EncodeSweepStatus(w io.Writer, st SweepStatus) error {
+	st.Version = Version
+	return json.NewEncoder(w).Encode(st)
+}
+
+// DecodeSweepStatus reads and version-checks a sweep status.
+func DecodeSweepStatus(r io.Reader) (SweepStatus, error) {
+	var st SweepStatus
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return st, fmt.Errorf("api: decode sweep status: %w", err)
+	}
+	if err := CheckVersion(st.Version); err != nil {
+		return st, err
+	}
+	return st, nil
+}

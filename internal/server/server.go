@@ -1,0 +1,438 @@
+// Package server is the HTTP transport of the sweep engine: a thin,
+// stateless-protocol front-end over the vliwmt.Runner session API.
+//
+//	POST   /v1/sweeps            submit a grid or job set (202; ?wait=1 blocks)
+//	GET    /v1/sweeps            list sweeps
+//	GET    /v1/sweeps/{id}        status, plus ordered results once terminal
+//	GET    /v1/sweeps/{id}/events NDJSON progress stream (replay + live)
+//	DELETE /v1/sweeps/{id}        cancel a running sweep
+//	GET    /healthz              liveness probe
+//
+// Bodies are the versioned wire documents of internal/api. Every sweep
+// shares one compile cache for the life of the server; each runs under
+// a context cancelled by DELETE, by client disconnect (in wait mode),
+// or by server Close. The engine's determinism contract holds across
+// the wire: results are index-ordered, seed-derived and bit-identical
+// to an in-process run at any worker count.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vliwmt"
+	"vliwmt/internal/api"
+	"vliwmt/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the default per-sweep worker pool size when a request
+	// does not ask for one; 0 selects runtime.NumCPU().
+	Workers int
+	// ResultDir, when set, enables content-addressed result
+	// persistence: identical repeat sweeps are served from disk.
+	ResultDir string
+	// Log receives request and sweep lifecycle lines; nil disables.
+	Log *log.Logger
+}
+
+// Server owns the sweep runs and the shared compile cache.
+type Server struct {
+	opts   Options
+	cache  *vliwmt.CompileCache
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string // submission order, for listing
+	nextID int
+}
+
+// New returns a Server; callers serve its Handler and Close it on
+// shutdown (cancelling any in-flight sweeps).
+func New(opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:   opts,
+		cache:  vliwmt.NewCompileCache(),
+		ctx:    ctx,
+		cancel: cancel,
+		runs:   map[string]*run{},
+	}
+}
+
+// Close cancels every in-flight sweep.
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log.Printf(format, args...)
+	}
+}
+
+// run is one submitted sweep: lifecycle state, a replayable event log,
+// and live event subscribers. Progress callbacks are serialised by the
+// engine; everything shared is guarded by mu.
+type run struct {
+	id     string
+	total  int
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   api.State
+	done    int
+	events  []api.Event
+	subs    map[chan api.Event]struct{}
+	results []sweep.Result
+	err     error
+}
+
+func newRun(id string, total int, cancel context.CancelFunc) *run {
+	return &run{
+		id:     id,
+		total:  total,
+		cancel: cancel,
+		state:  api.StateRunning,
+		subs:   map[chan api.Event]struct{}{},
+	}
+}
+
+// broadcast appends ev to the replay log and fans it out. Subscriber
+// channels are sized to hold every possible event, so sends never block
+// the engine; the default arm is pure defence.
+func (r *run) broadcast(ev api.Event) {
+	r.events = append(r.events, ev)
+	for ch := range r.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// progress is the Runner's progress sink.
+func (r *run) progress(done, total int, res sweep.Result) {
+	ar := api.ResultFrom(res)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done = done
+	r.broadcast(api.Event{Done: done, Total: total, Result: &ar})
+}
+
+// finish records the terminal state and emits the final event. The
+// per-job replay log is dropped at that point — the status document
+// already carries the full ordered results, so a subscriber arriving
+// after completion just gets the terminal event and fetches those.
+func (r *run) finish(results []sweep.Result, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = results
+	r.err = err
+	switch {
+	case err == nil:
+		r.state = api.StateDone
+	case errors.Is(err, context.Canceled):
+		r.state = api.StateCanceled
+	default:
+		r.state = api.StateFailed
+	}
+	r.broadcast(api.Event{Done: r.done, Total: r.total, State: r.state})
+	r.events = r.events[len(r.events)-1:]
+}
+
+// terminal reports whether the run has finished.
+func (r *run) terminal() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.Terminal()
+}
+
+// subscribe returns a replay of everything emitted so far plus a
+// channel for subsequent events. The channel is buffered for the whole
+// stream (total job events + terminal), so broadcasters never block.
+func (r *run) subscribe() (replay []api.Event, ch chan api.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	replay = append([]api.Event(nil), r.events...)
+	ch = make(chan api.Event, r.total+2)
+	r.subs[ch] = struct{}{}
+	return replay, ch
+}
+
+func (r *run) unsubscribe(ch chan api.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.subs, ch)
+}
+
+// status snapshots the run as a wire document. With withResults, a
+// terminal run's results are attached, ordered by job index; listing
+// and logging pass false to skip that conversion.
+func (r *run) status(withResults bool) api.SweepStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := api.SweepStatus{
+		Version: api.Version,
+		ID:      r.id,
+		State:   r.state,
+		Done:    r.done,
+		Total:   r.total,
+	}
+	if r.state.Terminal() {
+		if withResults {
+			st.Results = api.ResultsFrom(r.results)
+		}
+		if r.err != nil {
+			st.Error = r.err.Error()
+		}
+	}
+	return st
+}
+
+func (s *Server) get(id string) *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id]
+}
+
+// maxRetainedRuns bounds the runs map of a long-lived server: once
+// exceeded, the oldest terminal runs (and their retained results) are
+// evicted. Running sweeps are never evicted.
+const maxRetainedRuns = 256
+
+func (s *Server) register(total int, cancel context.CancelFunc) *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if excess := len(s.order) - maxRetainedRuns + 1; excess > 0 {
+		kept := make([]string, 0, len(s.order))
+		for _, oid := range s.order {
+			if excess > 0 && s.runs[oid].terminal() {
+				delete(s.runs, oid)
+				excess--
+				continue
+			}
+			kept = append(kept, oid)
+		}
+		s.order = kept
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%06d", s.nextID)
+	ru := newRun(id, total, cancel)
+	s.runs[id] = ru
+	s.order = append(s.order, id)
+	return ru
+}
+
+// execute runs the job set on a per-sweep Runner sharing the server's
+// compile cache, then records the terminal state. It releases the
+// run's context on return so finished sweeps don't stay registered as
+// children of the server context.
+func (s *Server) execute(ctx context.Context, ru *run, jobs []sweep.Job, workers int) {
+	defer ru.cancel()
+	runner := vliwmt.NewRunner(
+		vliwmt.WithWorkers(workers),
+		vliwmt.WithCache(s.cache),
+		vliwmt.WithProgress(ru.progress),
+		vliwmt.WithResultDir(s.opts.ResultDir),
+	)
+	results, err := runner.SweepJobs(ctx, jobs)
+	ru.finish(results, err)
+	st := ru.status(false)
+	s.logf("sweep %s: %s (%d/%d jobs)", ru.id, st.State, st.Done, st.Total)
+}
+
+// parseWait interprets the wait query parameter: absent means async,
+// and explicit false values ("0", "false") stay async too.
+func parseWait(v string) (bool, error) {
+	if v == "" {
+		return false, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("invalid wait=%q (want a boolean)", v)
+	}
+	return b, nil
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// handleSubmit accepts a sweep request: a grid (expanded server-side
+// with the same defaulting as in-process Grid.Jobs) or explicit jobs.
+// By default the sweep runs asynchronously and a 202 with the run ID
+// comes back immediately; with ?wait=1 the handler blocks until the
+// sweep finishes and the client disconnecting cancels it (the request
+// context propagates into the engine).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeSweepRequest(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var jobs []sweep.Job
+	if req.Grid != nil {
+		if jobs, err = req.Grid.Sweep().Jobs(); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	for _, j := range req.Jobs {
+		jobs = append(jobs, j.Sweep())
+	}
+	for i, j := range jobs {
+		if err := j.Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+	}
+	if len(jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "sweep request expanded to zero jobs")
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opts.Workers
+	}
+
+	wait, err := parseWait(r.URL.Query().Get("wait"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The sweep context descends from the server (so Close cancels every
+	// run); in wait mode it also descends from the request, so a client
+	// disconnect cancels the sweep mid-flight.
+	base := s.ctx
+	if wait {
+		base = r.Context()
+	}
+	ctx, cancel := context.WithCancel(base)
+	ru := s.register(len(jobs), cancel)
+	s.logf("sweep %s: submitted, %d jobs (workers=%d, wait=%v)", ru.id, len(jobs), workers, wait)
+
+	if wait {
+		// Server shutdown must still cancel a wait-mode sweep, whose
+		// context descends from the request rather than the server.
+		stop := context.AfterFunc(s.ctx, cancel)
+		defer stop()
+		s.execute(ctx, ru, jobs, workers)
+		writeJSON(w, http.StatusOK, ru.status(true))
+		return
+	}
+	go s.execute(ctx, ru, jobs, workers)
+	writeJSON(w, http.StatusAccepted, ru.status(false))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.runs[id])
+	}
+	s.mu.Unlock()
+	list := struct {
+		Version int               `json:"version"`
+		Sweeps  []api.SweepStatus `json:"sweeps"`
+	}{Version: api.Version}
+	for _, ru := range runs {
+		// Listing is a summary; fetch one sweep for its results.
+		list.Sweeps = append(list.Sweeps, ru.status(false))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ru := s.get(r.PathValue("id"))
+	if ru == nil {
+		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ru.status(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	ru := s.get(r.PathValue("id"))
+	if ru == nil {
+		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	ru.cancel()
+	s.logf("sweep %s: cancel requested", ru.id)
+	writeJSON(w, http.StatusAccepted, ru.status(false))
+}
+
+// handleEvents streams the run's progress as NDJSON: the replay first
+// (per-job history while running; just the terminal event once the
+// sweep has finished), then live events until the terminal event or
+// the client disconnects. Disconnecting from the event stream does not
+// cancel the sweep (use DELETE, or submit with ?wait=1, for that).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	ru := s.get(r.PathValue("id"))
+	if ru == nil {
+		httpError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	replay, ch := ru.subscribe()
+	defer ru.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev api.Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return !ev.Terminal()
+	}
+	for _, ev := range replay {
+		if !emit(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if !emit(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

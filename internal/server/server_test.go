@@ -1,0 +1,419 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vliwmt/internal/api"
+	"vliwmt/internal/sweep"
+)
+
+// testGrid is a 2x2 grid small enough for handler tests.
+func testGrid() api.Grid {
+	return api.Grid{
+		Schemes:    []string{"2SC3", "3SSS"},
+		Mixes:      []string{"LLHH", "HHHH"},
+		InstrLimit: 5_000,
+		Seed:       7,
+	}
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req api.SweepRequest, query string) api.SweepStatus {
+	t.Helper()
+	var body bytes.Buffer
+	if err := api.EncodeSweepRequest(&body, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/sweeps"+query, "application/json", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	st, err := api.DecodeSweepStatus(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) api.SweepStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %s", resp.Status)
+	}
+	st, err := api.DecodeSweepStatus(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) api.SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never reached a terminal state", id)
+	return api.SweepStatus{}
+}
+
+// fingerprint renders every deterministic field of a result set.
+func fingerprint(t *testing.T, results []sweep.Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d (%s): %v", r.Index, r.Job.Describe(), r.Err)
+		}
+		fmt.Fprintf(&b, "%d %s seed=%d cycles=%d instrs=%d ops=%d ipc=%.12f ic=%d/%d dc=%d/%d\n",
+			r.Index, r.Job.Label, r.Job.Seed, r.Res.Cycles, r.Res.Instrs, r.Res.Ops, r.Res.IPC,
+			r.Res.ICache.Accesses, r.Res.ICache.Misses, r.Res.DCache.Accesses, r.Res.DCache.Misses)
+	}
+	return b.String()
+}
+
+// TestSubmitStatusMatchesInProcess submits a grid over HTTP and checks
+// the aggregated results are bit-identical to an in-process run of the
+// same grid — the acceptance criterion of the service redesign — at
+// two different server worker counts.
+func TestSubmitStatusMatchesInProcess(t *testing.T) {
+	jobs, err := testGrid().Sweep().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.New(4).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, local)
+
+	for _, workers := range []int{1, 8} {
+		g := testGrid()
+		_, ts := newTestServer(t, Options{})
+		st := submit(t, ts, api.SweepRequest{Grid: &g, Workers: workers}, "")
+		if st.Total != 4 || st.ID == "" {
+			t.Fatalf("submit status: %+v", st)
+		}
+		final := waitTerminal(t, ts, st.ID)
+		if final.State != api.StateDone || final.Done != 4 {
+			t.Fatalf("final status: %+v (error %q)", final.State, final.Error)
+		}
+		if len(final.Results) != 4 {
+			t.Fatalf("got %d results, want 4", len(final.Results))
+		}
+		got := fingerprint(t, api.SweepResults(final.Results))
+		if got != want {
+			t.Errorf("workers=%d: remote results differ from in-process:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestExplicitJobsAndWaitMode submits explicit jobs with ?wait=1 and
+// checks the synchronous response carries the finished results.
+func TestExplicitJobsAndWaitMode(t *testing.T) {
+	jobs, err := testGrid().Sweep().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.SweepRequest{}
+	for _, j := range jobs[:2] {
+		req.Jobs = append(req.Jobs, api.JobFrom(j))
+	}
+	_, ts := newTestServer(t, Options{})
+	st := submit(t, ts, req, "?wait=1")
+	if !st.State.Terminal() || st.State != api.StateDone {
+		t.Fatalf("wait-mode response not terminal: %+v", st)
+	}
+	if len(st.Results) != 2 {
+		t.Fatalf("wait-mode response has %d results, want 2", len(st.Results))
+	}
+	local, err := sweep.New(2).Run(context.Background(), jobs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fingerprint(t, api.SweepResults(st.Results)), fingerprint(t, local); got != want {
+		t.Errorf("wait-mode results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestEventsStream reads the NDJSON stream and checks replay plus live
+// events cover every job and end with the terminal event.
+func TestEventsStream(t *testing.T) {
+	// A single worker and a larger budget keep the sweep in flight
+	// until the stream attaches; a finished sweep replays only its
+	// terminal event.
+	g := testGrid()
+	g.InstrLimit = 100_000
+	_, ts := newTestServer(t, Options{})
+	st := submit(t, ts, api.SweepRequest{Grid: &g, Workers: 1}, "")
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var jobEvents int
+	var last api.Event
+	for sc.Scan() {
+		var ev api.Event
+		if err := ev.UnmarshalLine(sc.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Result != nil {
+			jobEvents++
+			if ev.Done != jobEvents {
+				t.Errorf("event done=%d out of order (want %d)", ev.Done, jobEvents)
+			}
+		}
+		last = ev
+		if ev.Terminal() {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if jobEvents != 4 {
+		t.Errorf("saw %d job events, want 4", jobEvents)
+	}
+	if last.State != api.StateDone {
+		t.Errorf("terminal event state %q", last.State)
+	}
+}
+
+// TestCancel checks DELETE cancels a running sweep and the status
+// reports the canceled state.
+func TestCancel(t *testing.T) {
+	// A grid big enough to still be running when the DELETE lands, on
+	// a single worker.
+	g := api.Grid{InstrLimit: 50_000, Seed: 1}
+	_, ts := newTestServer(t, Options{})
+	st := submit(t, ts, api.SweepRequest{Grid: &g, Workers: 1}, "")
+	if st.Total != 16*9 {
+		t.Fatalf("total %d, want 144", st.Total)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %s", resp.Status)
+	}
+	final := waitTerminal(t, ts, st.ID)
+	if final.State != api.StateCanceled {
+		t.Errorf("state %q after DELETE, want canceled", final.State)
+	}
+	if final.Error == "" {
+		t.Error("canceled sweep reports no error")
+	}
+}
+
+// TestWaitModeClientDisconnectCancels checks the context propagation
+// path: a client that disconnects from a ?wait=1 submission cancels
+// the sweep server-side.
+func TestWaitModeClientDisconnectCancels(t *testing.T) {
+	g := api.Grid{InstrLimit: 50_000, Seed: 1}
+	_, ts := newTestServer(t, Options{})
+	var body bytes.Buffer
+	if err := api.EncodeSweepRequest(&body, api.SweepRequest{Grid: &g, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/sweeps?wait=1", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Give the sweep a moment to start, then drop the connection.
+	time.Sleep(200 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("request unexpectedly succeeded after cancel")
+	}
+
+	// The run was registered; find it via the listing and wait for the
+	// canceled state to propagate.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/sweeps")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list struct {
+			Sweeps []api.SweepStatus `json:"sweeps"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Sweeps) == 1 && list.Sweeps[0].State == api.StateCanceled {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("wait-mode sweep was not canceled by client disconnect")
+}
+
+// TestResultPersistenceServesRepeats checks that with a result
+// directory configured, an identical repeat sweep is served from disk:
+// same results, no additional compilation.
+func TestResultPersistenceServesRepeats(t *testing.T) {
+	dir := t.TempDir()
+	g := testGrid()
+	srv, ts := newTestServer(t, Options{ResultDir: dir})
+	first := waitTerminal(t, ts, submit(t, ts, api.SweepRequest{Grid: &g}, "").ID)
+	if first.State != api.StateDone {
+		t.Fatalf("first sweep: %+v", first)
+	}
+	compiles, _ := srv.cache.Stats()
+
+	second := waitTerminal(t, ts, submit(t, ts, api.SweepRequest{Grid: &g}, "").ID)
+	if second.State != api.StateDone {
+		t.Fatalf("second sweep: %+v", second)
+	}
+	if again, _ := srv.cache.Stats(); again != compiles {
+		t.Errorf("repeat sweep compiled kernels (%d -> %d); want disk-served", compiles, again)
+	}
+	if got, want := fingerprint(t, api.SweepResults(second.Results)), fingerprint(t, api.SweepResults(first.Results)); got != want {
+		t.Errorf("disk-served results differ:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestRunRetentionBounded checks that terminal runs are evicted once
+// the retention cap is exceeded (a long-lived server must not grow
+// without bound) and that their replay log shrinks to the terminal
+// event, while running sweeps are never evicted.
+func TestRunRetentionBounded(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+	live := srv.register(1, func() {})
+	for i := 0; i < maxRetainedRuns+50; i++ {
+		ru := srv.register(1, func() {})
+		ru.finish(nil, nil)
+		if got := len(ru.events); got != 1 {
+			t.Fatalf("terminal run retains %d replay events, want 1", got)
+		}
+	}
+	srv.mu.Lock()
+	n, order := len(srv.runs), len(srv.order)
+	_, liveKept := srv.runs[live.id]
+	srv.mu.Unlock()
+	if n > maxRetainedRuns {
+		t.Errorf("%d runs retained, want <= %d", n, maxRetainedRuns)
+	}
+	if n != order {
+		t.Errorf("runs map (%d) and order slice (%d) disagree", n, order)
+	}
+	if !liveKept {
+		t.Error("running sweep was evicted")
+	}
+}
+
+// TestWaitParam checks explicit false values stay asynchronous.
+func TestWaitParam(t *testing.T) {
+	for v, want := range map[string]bool{"": false, "0": false, "false": false, "1": true, "true": true} {
+		got, err := parseWait(v)
+		if err != nil || got != want {
+			t.Errorf("parseWait(%q) = %v, %v; want %v", v, got, err, want)
+		}
+	}
+	if _, err := parseWait("yes-please"); err == nil {
+		t.Error("garbage wait value accepted")
+	}
+}
+
+// TestBadRequests checks the error paths: malformed body, wrong
+// version, unknown scheme, unknown id.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("malformed body: %d", code)
+	}
+	if code := post(`{"version":99,"grid":{}}`); code != http.StatusBadRequest {
+		t.Errorf("future version: %d", code)
+	}
+	if code := post(`{"version":1}`); code != http.StatusBadRequest {
+		t.Errorf("empty request: %d", code)
+	}
+	if code := post(`{"version":1,"grid":{"schemes":["bogus!"]}}`); code != http.StatusBadRequest {
+		t.Errorf("bogus scheme: %d", code)
+	}
+	for _, path := range []string{"/v1/sweeps/nope", "/v1/sweeps/nope/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}

@@ -99,7 +99,10 @@ func (j Job) config() sim.Config {
 	}
 }
 
-// Validate rejects jobs the engine cannot run.
+// Validate rejects jobs the engine cannot run: unknown benchmarks,
+// unparseable merge scheme names, and scheme/context mismatches are all
+// reported up front with a descriptive error instead of surfacing deep
+// inside the simulator.
 func (j Job) Validate() error {
 	if len(j.Benchmarks) == 0 {
 		return fmt.Errorf("sweep: job %s has no benchmarks", j.Describe())
@@ -107,6 +110,13 @@ func (j Job) Validate() error {
 	for _, name := range j.Benchmarks {
 		if _, err := workload.ByName(name); err != nil {
 			return fmt.Errorf("sweep: job %s: %w", j.Describe(), err)
+		}
+	}
+	if j.Scheme != "" {
+		// NewSelector also rejects scheme/port mismatches, so an explicit
+		// Contexts that disagrees with the scheme fails here too.
+		if _, err := merge.NewSelector(j.Scheme, j.EffectiveContexts()); err != nil {
+			return fmt.Errorf("sweep: job %s: scheme %q: %w", j.Describe(), j.Scheme, err)
 		}
 	}
 	return nil

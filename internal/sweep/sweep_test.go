@@ -250,6 +250,37 @@ func TestJobErrorsCollected(t *testing.T) {
 	}
 }
 
+// TestJobValidateScheme checks scheme names are validated up front
+// with a descriptive error instead of failing deep in the simulator.
+func TestJobValidateScheme(t *testing.T) {
+	base := Job{Benchmarks: []string{"mcf"}, Machine: isa.Default(), PerfectMemory: true, InstrLimit: 1000}
+
+	bad := base
+	bad.Scheme = "bogus!"
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "bogus!") {
+		t.Errorf("error does not name the scheme: %v", err)
+	}
+
+	mismatch := base
+	mismatch.Scheme = "2SC3" // merges 4 threads
+	mismatch.Contexts = 3
+	if err := mismatch.Validate(); err == nil {
+		t.Error("scheme/context mismatch accepted")
+	}
+
+	for _, scheme := range []string{"", "1S", "2SC3", "C4", "IMT", "BMT"} {
+		ok := base
+		ok.Scheme = scheme
+		if err := ok.Validate(); err != nil {
+			t.Errorf("valid scheme %q rejected: %v", scheme, err)
+		}
+	}
+}
+
 func TestGridValidation(t *testing.T) {
 	if _, err := (Grid{Mixes: []string{"no-such-mix"}}).Jobs(); err == nil {
 		t.Error("unknown mix accepted")

@@ -1,0 +1,169 @@
+package vliwmt
+
+import (
+	"context"
+
+	"vliwmt/internal/api"
+	"vliwmt/internal/sim"
+	"vliwmt/internal/sweep"
+	"vliwmt/internal/workload"
+)
+
+// CompileCache memoizes kernel compilation per (benchmark, machine).
+// Compiled programs are immutable, so a cache is safe to share between
+// Runners and across concurrent sweeps.
+type CompileCache = sweep.CompileCache
+
+// NewCompileCache returns an empty compile cache.
+func NewCompileCache() *CompileCache { return sweep.NewCompileCache() }
+
+// SharedCompileCache returns the process-wide compile cache used by the
+// package-level Run/RunMix/Sweep functions.
+func SharedCompileCache() *CompileCache { return sweep.SharedCache() }
+
+// Runner is a long-lived experiment session. All of its methods — Run,
+// RunMix, Sweep, SweepJobs — share one compile cache, so a Runner that
+// serves many calls (a REPL, a service handler, a benchmark harness)
+// compiles each (benchmark, machine) kernel exactly once. A Runner is
+// safe for concurrent use; results obey the same determinism contract
+// as the engine (index-ordered, seed-derived, bit-identical at any
+// worker count).
+//
+// The zero configuration — NewRunner() — uses a private compile cache
+// and one worker per core. The package-level functions are thin
+// wrappers over a default Runner attached to the process-wide cache.
+type Runner struct {
+	workers   int
+	cache     *CompileCache
+	progress  func(done, total int, r SweepResult)
+	seed      uint64
+	resultDir string
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithWorkers bounds the sweep worker pool; 0 (the default) selects
+// runtime.NumCPU().
+func WithWorkers(n int) RunnerOption {
+	return func(r *Runner) { r.workers = n }
+}
+
+// WithCache attaches an explicit compile cache, typically to share
+// compiled kernels between Runners. A nil cache is ignored.
+func WithCache(c *CompileCache) RunnerOption {
+	return func(r *Runner) {
+		if c != nil {
+			r.cache = c
+		}
+	}
+}
+
+// WithSharedCache attaches the process-wide compile cache, sharing
+// compiled kernels with the package-level functions and every other
+// Runner constructed with this option.
+func WithSharedCache() RunnerOption {
+	return func(r *Runner) { r.cache = sweep.SharedCache() }
+}
+
+// WithProgress installs a progress sink called after each sweep job
+// completes (done jobs, total jobs, the completed result). Calls are
+// serialised by the engine.
+func WithProgress(fn func(done, total int, r SweepResult)) RunnerOption {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// WithSeed sets the Runner's default sweep seed: a Grid submitted with
+// Seed zero inherits it before expansion. Explicit Grid or Job seeds
+// always win.
+func WithSeed(seed uint64) RunnerOption {
+	return func(r *Runner) { r.seed = seed }
+}
+
+// WithResultDir enables result persistence: completed sweeps are
+// spilled to dir as wire-format JSON keyed by a content hash of the
+// job set (jobs embed seed and machine), and a repeated identical
+// sweep is served from disk instead of re-simulating. Only fully
+// successful sweeps are stored; spill failures are silently ignored
+// (persistence is an optimisation, never a correctness dependency).
+func WithResultDir(dir string) RunnerOption {
+	return func(r *Runner) { r.resultDir = dir }
+}
+
+// NewRunner returns a session configured by opts.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{cache: sweep.NewCompileCache()}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Cache exposes the Runner's compile cache (for stats and pre-warming).
+func (r *Runner) Cache() *CompileCache { return r.cache }
+
+// Run simulates the given software threads under cfg.
+func (r *Runner) Run(cfg Config, tasks []Task) (*Result, error) {
+	return sim.Run(cfg, tasks)
+}
+
+// RunMix compiles the named Table 2 mix through the Runner's compile
+// cache and simulates it under cfg. Repeated calls on one Runner reuse
+// the compiled kernels.
+func (r *Runner) RunMix(cfg Config, mixName string) (*Result, error) {
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		return nil, err
+	}
+	var tasks []Task
+	for _, name := range mix.Members {
+		p, err := r.cache.Get(name, cfg.Machine)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, Task{Name: name, Prog: p})
+	}
+	return sim.Run(cfg, tasks)
+}
+
+// Sweep expands the grid (applying the Runner's default seed when the
+// grid leaves Seed zero) and executes it; see SweepJobs.
+func (r *Runner) Sweep(ctx context.Context, g Grid) ([]SweepResult, error) {
+	if g.Seed == 0 && r.seed != 0 {
+		g.Seed = r.seed
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return r.SweepJobs(ctx, jobs)
+}
+
+// SweepJobs executes an explicit job set on the Runner's worker pool
+// with its shared compile cache. Results come back ordered by job
+// index, bit-identical at any worker count. When result persistence is
+// enabled and an identical job set has completed before, the stored
+// results are returned (replaying progress callbacks) without
+// simulating.
+func (r *Runner) SweepJobs(ctx context.Context, jobs []SweepJob) ([]SweepResult, error) {
+	store := api.Store{Dir: r.resultDir}
+	if results, ok := store.Load(jobs); ok {
+		if r.progress != nil {
+			for i, res := range results {
+				r.progress(i+1, len(results), res)
+			}
+		}
+		return results, nil
+	}
+	e := sweep.New(r.workers)
+	e.SetCache(r.cache)
+	if r.progress != nil {
+		e.SetProgress(r.progress)
+	}
+	results, err := e.Run(ctx, jobs)
+	if err == nil {
+		// Best-effort spill; Save itself skips partially failed sweeps.
+		_ = store.Save(jobs, results)
+	}
+	return results, err
+}

@@ -19,7 +19,9 @@
 //     (SchemeCost, CostScaling),
 //   - a parallel sweep engine that runs scheme x mix experiment grids on
 //     a worker pool with a shared compile cache and deterministic
-//     aggregation (Sweep, Grid, SweepResult).
+//     aggregation (Sweep, Grid, SweepResult),
+//   - a long-lived session API (Runner) and an HTTP client (Client) that
+//     submits the same grids to a remote vliwserve instance.
 //
 // The quickest start:
 //
@@ -27,6 +29,32 @@
 //	cfg.Scheme = "2SC3"
 //	res, err := vliwmt.RunMix(cfg, "LLHH")
 //	fmt.Println(res.IPC)
+//
+// # Runners and the top-level functions
+//
+// A Runner is a long-lived experiment session whose methods (Run,
+// RunMix, Sweep, SweepJobs) share one compile cache, configured with
+// functional options — workers, cache, seed policy, progress sink,
+// result persistence:
+//
+//	r := vliwmt.NewRunner(vliwmt.WithWorkers(8), vliwmt.WithSeed(7))
+//	res, err := r.RunMix(cfg, "LLHH")          // compiles LLHH once
+//	res, err = r.RunMix(cfg, "LLHH")           // served from the cache
+//	results, err := r.Sweep(ctx, vliwmt.Grid{})
+//
+// The package-level Run, RunMix, Sweep and SweepJobs functions are thin
+// wrappers over a default Runner attached to the process-wide compile
+// cache; they remain the simplest entry point and their behaviour is
+// unchanged. Construct your own Runner when you want an isolated or
+// explicitly shared cache, a fixed worker budget, a default seed, a
+// progress sink that outlives one call, or on-disk result persistence
+// (WithResultDir).
+//
+// Sweeps can also run remotely: cmd/vliwserve serves the sweep engine
+// over HTTP (POST /v1/sweeps, status, NDJSON progress events), and
+// Client submits a Grid to it, returning the same deterministic
+// SweepResults as an in-process call — bit-identical modulo wall-clock
+// fields, at any worker count on either side of the wire.
 package vliwmt
 
 import (
@@ -77,8 +105,13 @@ type Result = sim.Result
 // Program is compiled clustered-VLIW code ready for simulation.
 type Program = program.Program
 
+// defaultRunner backs the package-level Run/RunMix/Sweep functions: a
+// session on the process-wide compile cache, so top-level calls and
+// Runners constructed with WithSharedCache reuse each other's kernels.
+var defaultRunner = NewRunner(WithSharedCache())
+
 // Run simulates the given software threads under cfg.
-func Run(cfg Config, tasks []Task) (*Result, error) { return sim.Run(cfg, tasks) }
+func Run(cfg Config, tasks []Task) (*Result, error) { return defaultRunner.Run(cfg, tasks) }
 
 // Benchmark describes one of the paper's Table 1 benchmarks.
 type Benchmark = workload.Benchmark
@@ -101,21 +134,10 @@ type Mix = workload.Mix
 // Mixes returns the nine Table 2 workload mixes (LLLL .. HHHH).
 func Mixes() []Mix { return workload.Mixes() }
 
-// RunMix compiles the named Table 2 mix and simulates it under cfg.
+// RunMix compiles the named Table 2 mix (through the process-wide
+// compile cache) and simulates it under cfg.
 func RunMix(cfg Config, mixName string) (*Result, error) {
-	mix, err := workload.MixByName(mixName)
-	if err != nil {
-		return nil, err
-	}
-	var tasks []Task
-	for _, name := range mix.Members {
-		p, err := CompileBenchmark(name, cfg.Machine)
-		if err != nil {
-			return nil, err
-		}
-		tasks = append(tasks, Task{Name: name, Prog: p})
-	}
-	return Run(cfg, tasks)
+	return defaultRunner.RunMix(cfg, mixName)
 }
 
 // Schemes returns the sixteen merging schemes of the paper's Figure 9,
@@ -218,17 +240,24 @@ type SweepOptions struct {
 	Progress func(done, total int, r SweepResult)
 }
 
+// runner builds a one-call Runner on the process-wide compile cache
+// from legacy SweepOptions.
+func (o SweepOptions) runner() *Runner {
+	return NewRunner(WithSharedCache(), WithWorkers(o.Workers), WithProgress(o.Progress))
+}
+
 // Sweep expands the grid into jobs and executes them on a bounded worker
 // pool with a shared compile cache: each benchmark kernel is compiled
 // once per sweep, independent simulations run in parallel, and results
 // come back deterministically ordered. Cancelling ctx stops dispatching
-// and returns the partial results with ctx's error.
+// and returns the partial results with ctx's error. It is a thin
+// wrapper over Runner.Sweep on the process-wide compile cache.
 func Sweep(ctx context.Context, g Grid, opts *SweepOptions) ([]SweepResult, error) {
-	jobs, err := g.Jobs()
-	if err != nil {
-		return nil, err
+	var o SweepOptions
+	if opts != nil {
+		o = *opts
 	}
-	return SweepJobs(ctx, jobs, opts)
+	return o.runner().Sweep(ctx, g)
 }
 
 // SweepJobs executes an explicit job set on the worker pool; see Sweep.
@@ -237,12 +266,7 @@ func SweepJobs(ctx context.Context, jobs []SweepJob, opts *SweepOptions) ([]Swee
 	if opts != nil {
 		o = *opts
 	}
-	e := sweep.New(o.Workers)
-	e.SetCache(sweep.SharedCache())
-	if o.Progress != nil {
-		e.SetProgress(o.Progress)
-	}
-	return e.Run(ctx, jobs)
+	return o.runner().SweepJobs(ctx, jobs)
 }
 
 // SingleThreadIPC is a convenience wrapper: it runs one program alone on

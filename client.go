@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vliwmt/internal/api"
+	"vliwmt/internal/merge"
 )
 
 // Client submits sweeps to a remote vliwserve instance (cmd/vliwserve)
@@ -58,7 +59,22 @@ func (c *Client) Ping(ctx context.Context) error {
 // opts.Progress, and returns the index-ordered results. Cancelling ctx
 // cancels the remote sweep (best-effort DELETE) and returns ctx's
 // error with any results the server had aggregated.
+//
+// Scheme names that resolve only through this process's registry
+// (vliwmt.RegisterScheme) do not exist on the server, so such grids
+// are expanded client-side — Grid.Jobs is deterministic and identical
+// on both ends — and submitted as explicit jobs whose merge trees
+// travel inline. Results are bit-identical either way.
 func (c *Client) Sweep(ctx context.Context, g Grid, opts *SweepOptions) ([]SweepResult, error) {
+	for _, s := range g.Schemes {
+		if _, ok := merge.Lookup(s); ok {
+			jobs, err := g.Jobs()
+			if err != nil {
+				return nil, err
+			}
+			return c.SweepJobs(ctx, jobs, opts)
+		}
+	}
 	ag := api.GridFrom(g)
 	return c.submit(ctx, api.SweepRequest{Grid: &ag}, opts)
 }

@@ -6,6 +6,7 @@
 //
 //	mergecost                  # all sixteen schemes
 //	mergecost -scheme 2SC3
+//	mergecost -scheme 'S(C(T0,T1,T2),T3)'   # any custom merge tree
 //	mergecost -scaling 2-8     # CSMT SL / CSMT PL / SMT curves
 package main
 

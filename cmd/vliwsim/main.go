@@ -4,8 +4,13 @@
 // Usage:
 //
 //	vliwsim -mix LLHH -scheme 2SC3 -instrs 1000000
+//	vliwsim -mix LLHH -scheme 'S(C(T0,T1,T2),T3)'
 //	vliwsim -bench mcf,x264 -scheme 1S -contexts 2
 //	vliwsim -bench colorspace -contexts 1 -perfect
+//
+// Schemes are named by the paper's grammar ("3SSS", "2SC3", "C4"), the
+// IMT/BMT baselines, or any custom merge tree written in the canonical
+// tree-expression grammar of vliwmt.DescribeScheme.
 package main
 
 import (
@@ -25,7 +30,7 @@ func main() {
 	var (
 		mixName  = flag.String("mix", "", "Table 2 workload mix to run (LLLL .. HHHH)")
 		benches  = flag.String("bench", "", "comma-separated benchmark list (alternative to -mix)")
-		scheme   = flag.String("scheme", "2SC3", "merging scheme (see -list), or IMT/BMT")
+		scheme   = flag.String("scheme", "2SC3", "merging scheme: a name (see -list), IMT/BMT, or a tree expression like 'C(S(T0,T1),T2,T3)'")
 		contexts = flag.Int("contexts", 4, "hardware thread contexts")
 		instrs   = flag.Int64("instrs", 1_000_000, "per-thread instruction budget")
 		slice    = flag.Int64("timeslice", 0, "OS timeslice in cycles (default instrs/100)")
@@ -44,6 +49,16 @@ func main() {
 	cfg := vliwmt.DefaultConfig()
 	cfg.Contexts = *contexts
 	cfg.Scheme = *scheme
+	// An explicit -contexts wins; otherwise size the machine to the
+	// scheme, so e.g. -scheme 'C(S(T0,T1),T2)' runs on 3 contexts
+	// without further flags.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !explicit["contexts"] {
+		if sch, err := vliwmt.ParseScheme(*scheme); err == nil && sch.Ports() > 0 {
+			cfg.Contexts = sch.Ports()
+		}
+	}
 	cfg.InstrLimit = *instrs
 	cfg.PerfectMemory = *perfect
 	cfg.FixedPriority = *fixed
@@ -98,12 +113,30 @@ func printLists() {
 		fmt.Printf("  %-5s %s\n", m.Name, strings.Join(m.Members[:], " "))
 	}
 	fmt.Println("\nSchemes (Figure 9 order):")
-	for _, s := range vliwmt.Schemes() {
-		desc, _ := vliwmt.DescribeScheme(s)
-		fmt.Printf("  %-5s %s\n", s, desc)
+	printScheme := func(name string) {
+		sch, err := vliwmt.ParseScheme(name)
+		if err != nil {
+			fmt.Printf("  %-8s %v\n", name, err)
+			return
+		}
+		tree := ""
+		if t := sch.Tree(); t != nil {
+			tree = t.String()
+		}
+		fmt.Printf("  %-8s %-28s %s\n", name, tree, sch.Describe())
 	}
-	fmt.Println("  IMT   interleaved multithreading baseline")
-	fmt.Println("  BMT   block multithreading baseline")
+	for _, s := range vliwmt.Schemes() {
+		printScheme(s)
+	}
+	printScheme("IMT")
+	printScheme("BMT")
+	if reg := vliwmt.RegisteredSchemes(); len(reg) > 0 {
+		fmt.Println("\nRegistered custom schemes:")
+		for _, sch := range reg {
+			printScheme(sch.Name())
+		}
+	}
+	fmt.Println("\nAny canonical tree expression also names a scheme, e.g. -scheme 'S(C(T0,T1,T2),T3)'.")
 }
 
 func printResult(cfg vliwmt.Config, res *vliwmt.Result) {

@@ -6,6 +6,7 @@
 //
 //	vliwsweep                                  # all 16 schemes x 9 mixes
 //	vliwsweep -schemes 2SC3,3SSS -mixes LLHH   # a sub-grid
+//	vliwsweep -schemes '2SC3,S(C(T0,T1,T2),T3)' -mixes LLHH  # custom tree
 //	vliwsweep -workers 8 -instr 1000000 -seed 3 -format json
 //	vliwsweep -sharedseed -progress
 //	vliwsweep -addr localhost:8080 -mixes LLHH # same grid, remote vliwserve
@@ -50,12 +51,40 @@ type row struct {
 	ElapsedSec float64 `json:"elapsed_sec"`
 }
 
+// split breaks a comma-separated list, leaving commas inside
+// parentheses alone so tree expressions like C(S(T0,T1),T2,T3) stay
+// whole in -schemes.
+func split(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	emit := func(end int) {
+		if p := strings.TrimSpace(s[start:end]); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				emit(i)
+				start = i + 1
+			}
+		}
+	}
+	emit(len(s))
+	return parts
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vliwsweep: ")
 	var (
 		addr       = flag.String("addr", "", "submit the grid to a remote vliwserve at this address instead of running in-process")
-		schemes    = flag.String("schemes", "", "comma-separated merge schemes (default: the paper's sixteen)")
+		schemes    = flag.String("schemes", "", "comma-separated merge schemes — names or tree expressions like C(S(T0,T1),T2,T3) (default: the paper's sixteen)")
 		mixes      = flag.String("mixes", "", "comma-separated Table 2 mixes (default: all nine)")
 		workers    = flag.Int("workers", 0, "worker pool size (0: runtime.NumCPU())")
 		seed       = flag.Uint64("seed", 1, "sweep seed; per-job seeds derive from it")
@@ -72,16 +101,6 @@ func main() {
 		log.Fatalf("unknown -format %q (want text, json or csv)", *format)
 	}
 
-	split := func(s string) []string {
-		if s == "" {
-			return nil
-		}
-		parts := strings.Split(s, ",")
-		for i := range parts {
-			parts[i] = strings.TrimSpace(parts[i])
-		}
-		return parts
-	}
 	grid := vliwmt.Grid{
 		Schemes:         split(*schemes),
 		Mixes:           split(*mixes),

@@ -25,9 +25,13 @@ func main() {
 	}
 	var pts []point
 	for _, scheme := range vliwmt.Schemes() {
+		sch, err := vliwmt.ParseScheme(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cfg := vliwmt.DefaultConfig()
-		cfg.Contexts = vliwmt.SchemeThreads(scheme)
-		cfg.Scheme = scheme
+		cfg.Contexts = sch.Ports()
+		cfg.Merge = sch
 		cfg.InstrLimit = 120_000
 		cfg.TimesliceCycles = 5_000
 		sum := 0.0

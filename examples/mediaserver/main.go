@@ -44,10 +44,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		sch, err := vliwmt.ParseScheme(scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cfg := vliwmt.DefaultConfig()
 		cfg.Machine = machine
-		cfg.Contexts = vliwmt.SchemeThreads(scheme)
-		cfg.Scheme = scheme
+		cfg.Contexts = sch.Ports()
+		cfg.Merge = sch
 		cfg.InstrLimit = 200_000
 		cfg.TimesliceCycles = 10_000
 		res, err := vliwmt.Run(cfg, tasks)

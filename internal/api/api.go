@@ -13,19 +13,28 @@ package api
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"vliwmt/internal/cache"
 	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
 	"vliwmt/internal/sim"
 	"vliwmt/internal/sweep"
 )
 
 // Version is the wire-format version. Decoders accept documents whose
-// version field is this value or zero (a pre-versioning document is
-// read as version 1); anything else is rejected so incompatible future
-// formats fail loudly instead of silently mis-decoding.
-const Version = 1
+// version field is between 1 and this value, or zero (a pre-versioning
+// document is read as version 1); anything newer is rejected so
+// incompatible future formats fail loudly instead of silently
+// mis-decoding.
+//
+// Version history:
+//
+//	1: initial format (machine, cache, job, grid, result DTOs)
+//	2: jobs may carry a SchemeSpec ("merge") inlining a first-class
+//	   merge scheme as a canonical tree expression
+const Version = 2
 
 // Machine is the wire form of isa.Machine.
 type Machine struct {
@@ -91,10 +100,61 @@ func (c CacheConfig) Config() cache.Config {
 	return cache.Config{Size: c.Size, LineSize: c.LineSize, Ways: c.Ways, MissPenalty: c.MissPenalty}
 }
 
+// SchemeSpec is the wire form of a first-class merge scheme
+// (merge.Scheme), introduced in wire version 2. Tree is the canonical
+// grammar emitted by merge.Tree.String (e.g. "C(S(T0,T1),T2,T3)");
+// it is empty for the IMT/BMT baselines, which Name identifies. A
+// spec with a tree is self-contained: the receiver rebuilds the exact
+// scheme without consulting its own registry, which is what makes
+// custom schemes submitted remotely bit-identical to in-process runs.
+type SchemeSpec struct {
+	Name string `json:"name,omitempty"`
+	Tree string `json:"tree,omitempty"`
+}
+
+// SchemeSpecFrom converts a first-class scheme to its wire form; the
+// zero Scheme converts to nil.
+func SchemeSpecFrom(s merge.Scheme) *SchemeSpec {
+	if s.IsZero() {
+		return nil
+	}
+	sp := &SchemeSpec{Name: s.Name()}
+	if t := s.Tree(); t != nil {
+		sp.Tree = t.String()
+	}
+	return sp
+}
+
+// Scheme converts the wire form back to a first-class scheme: the
+// tree expression when present (relabelled with Name), else Name
+// resolved as usual (baselines, paper names, local registry).
+func (s SchemeSpec) Scheme() (merge.Scheme, error) {
+	if s.Tree != "" {
+		t, err := merge.ParseTreeExpr(s.Tree)
+		if err != nil {
+			return merge.Scheme{}, fmt.Errorf("api: scheme spec: %w", err)
+		}
+		sch, err := merge.FromTree(t)
+		if err != nil {
+			return merge.Scheme{}, fmt.Errorf("api: scheme spec: %w", err)
+		}
+		return sch.WithName(s.Name), nil
+	}
+	if s.Name == "" {
+		return merge.Scheme{}, fmt.Errorf("api: empty scheme spec")
+	}
+	sch, err := merge.Resolve(s.Name)
+	if err != nil {
+		return merge.Scheme{}, fmt.Errorf("api: scheme spec: %w", err)
+	}
+	return sch, nil
+}
+
 // Job is the wire form of sweep.Job.
 type Job struct {
 	Label           string      `json:"label,omitempty"`
 	Scheme          string      `json:"scheme,omitempty"`
+	Merge           *SchemeSpec `json:"merge,omitempty"`
 	Benchmarks      []string    `json:"benchmarks,omitempty"`
 	Contexts        int         `json:"contexts,omitempty"`
 	Machine         Machine     `json:"machine,omitempty"`
@@ -106,11 +166,26 @@ type Job struct {
 	Seed            uint64      `json:"seed,omitempty"`
 }
 
+// jobSchemeSpec inlines the job's merge control for the wire: the
+// typed field when set, else a registered custom name's tree (a
+// remote server does not share this process's registry). Paper names
+// and baselines travel as the name alone.
+func jobSchemeSpec(j sweep.Job) *SchemeSpec {
+	if !j.Merge.IsZero() {
+		return SchemeSpecFrom(j.Merge)
+	}
+	if s, ok := merge.Lookup(j.Scheme); ok {
+		return SchemeSpecFrom(s)
+	}
+	return nil
+}
+
 // JobFrom converts an internal job to its wire form.
 func JobFrom(j sweep.Job) Job {
 	return Job{
 		Label:           j.Label,
 		Scheme:          j.Scheme,
+		Merge:           jobSchemeSpec(j),
 		Benchmarks:      append([]string(nil), j.Benchmarks...),
 		Contexts:        j.Contexts,
 		Machine:         MachineFrom(j.Machine),
@@ -123,9 +198,11 @@ func JobFrom(j sweep.Job) Job {
 	}
 }
 
-// Sweep converts the wire form back to an internal job.
-func (j Job) Sweep() sweep.Job {
-	return sweep.Job{
+// Sweep converts the wire form back to an internal job. A malformed
+// scheme spec is an error; a job without one converts scheme-name
+// verbatim, exactly as in wire version 1.
+func (j Job) Sweep() (sweep.Job, error) {
+	out := sweep.Job{
 		Label:           j.Label,
 		Scheme:          j.Scheme,
 		Benchmarks:      append([]string(nil), j.Benchmarks...),
@@ -138,6 +215,14 @@ func (j Job) Sweep() sweep.Job {
 		TimesliceCycles: j.TimesliceCycles,
 		Seed:            j.Seed,
 	}
+	if j.Merge != nil {
+		s, err := j.Merge.Scheme()
+		if err != nil {
+			return out, fmt.Errorf("api: job %s: %w", out.Describe(), err)
+		}
+		out.Merge = s
+	}
+	return out, nil
 }
 
 // Grid is the wire form of sweep.Grid. A zero-valued (or entirely
@@ -310,15 +395,20 @@ func ResultFrom(r sweep.Result) Result {
 	return out
 }
 
-// Sweep converts the wire form back to an internal sweep result.
+// Sweep converts the wire form back to an internal sweep result. The
+// job inside a result is informational, so a malformed scheme spec
+// surfaces on the result's Err rather than failing the whole decode.
 func (r Result) Sweep() sweep.Result {
+	job, jerr := r.Job.Sweep()
 	out := sweep.Result{
 		Index:   r.Index,
-		Job:     r.Job.Sweep(),
+		Job:     job,
 		Elapsed: time.Duration(r.ElapsedSec * float64(time.Second)),
 	}
 	if r.Err != "" {
 		out.Err = errors.New(r.Err)
+	} else if jerr != nil {
+		out.Err = jerr
 	}
 	if r.Sim != nil {
 		res := r.Sim.Sim()

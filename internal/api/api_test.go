@@ -14,6 +14,7 @@ import (
 
 	"vliwmt/internal/cache"
 	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
 	"vliwmt/internal/sim"
 	"vliwmt/internal/sweep"
 )
@@ -131,9 +132,12 @@ func TestConversionsAreLossless(t *testing.T) {
 	if got := CacheConfigFrom(cc).Config(); got != cc {
 		t.Errorf("cache: %+v != %+v", got, cc)
 	}
-	j := fixtureJob().Sweep()
-	if got := JobFrom(j).Sweep(); !reflect.DeepEqual(got, j) {
-		t.Errorf("job: %+v != %+v", got, j)
+	j, err := fixtureJob().Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := JobFrom(j).Sweep(); err != nil || !reflect.DeepEqual(got, j) {
+		t.Errorf("job: %+v != %+v (%v)", got, j, err)
 	}
 	g := fixtureGrid().Sweep()
 	if got := GridFrom(g).Sweep(); !reflect.DeepEqual(got, g) {
@@ -258,6 +262,127 @@ func TestGolden(t *testing.T) {
 				t.Errorf("decoding golden %s does not reproduce the fixture:\n got %#v\nwant %#v", tc.file, back, tc.v)
 			}
 		})
+	}
+}
+
+// TestSchemeSpecRoundTrip checks the version-2 SchemeSpec DTO: typed
+// schemes (paper, baseline, custom tree) survive the wire with their
+// names and exact merge trees.
+func TestSchemeSpecRoundTrip(t *testing.T) {
+	paper, err := merge.Resolve("2SC3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := merge.Resolve("S(C(T0,T1,T2),T3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imt, err := merge.Resolve("IMT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []merge.Scheme{paper, custom.WithName("asym4"), imt} {
+		sp := SchemeSpecFrom(s)
+		if sp == nil {
+			t.Fatalf("SchemeSpecFrom(%s) = nil", s.Name())
+		}
+		b, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back SchemeSpec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Scheme()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if got.Name() != s.Name() || got.String() != s.String() {
+			t.Errorf("scheme %s round-tripped to %s (%s)", s.Name(), got.Name(), got.String())
+		}
+	}
+	if SchemeSpecFrom(merge.Scheme{}) != nil {
+		t.Error("zero scheme should convert to a nil spec")
+	}
+	if _, err := (SchemeSpec{}).Scheme(); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := (SchemeSpec{Tree: "S(T0"}).Scheme(); err == nil {
+		t.Error("malformed tree spec accepted")
+	}
+}
+
+// TestJobInlinesRegisteredScheme checks that JobFrom attaches the tree
+// of a registry-resolved scheme name, so a remote server needs no
+// matching registration, and that Job.Sweep rebuilds the typed scheme.
+func TestJobInlinesRegisteredScheme(t *testing.T) {
+	tree, err := merge.ParseTreeExpr("S(C(T0,T1,T2),T3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := merge.FromTree(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merge.Register("apitest4", sch); err != nil {
+		t.Fatal(err)
+	}
+	defer merge.Unregister("apitest4")
+
+	j := fixtureJob()
+	j.Scheme = "apitest4"
+	wire := JobFrom(mustSweepJob(t, j))
+	if wire.Merge == nil || wire.Merge.Tree != "S(C(T0,T1,T2),T3)" {
+		t.Fatalf("registered scheme not inlined: %+v", wire.Merge)
+	}
+	back, err := wire.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Merge.IsZero() || back.Merge.String() != "S(C(T0,T1,T2),T3)" {
+		t.Errorf("typed scheme lost on decode: %+v", back.Merge)
+	}
+	if back.EffectiveContexts() != 4 {
+		t.Errorf("EffectiveContexts = %d, want 4", back.EffectiveContexts())
+	}
+}
+
+func mustSweepJob(t *testing.T, j Job) sweep.Job {
+	t.Helper()
+	sj, err := j.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sj
+}
+
+// TestV1BackCompat pins backwards compatibility: a checked-in wire
+// version 1 document (written by the previous release) must still
+// decode, expanding to the same jobs as its version-2 equivalent.
+func TestV1BackCompat(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "request.v1.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := DecodeSweepRequest(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("version 1 request rejected: %v", err)
+	}
+	if req.Version != 1 || req.Grid == nil {
+		t.Fatalf("unexpected decode: %+v", req)
+	}
+	v1Jobs, err := req.Grid.Sweep().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fixtureGrid()
+	v2Jobs, err := g.Sweep().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v1Jobs, v2Jobs) {
+		t.Error("version 1 document expands differently from its version 2 equivalent")
 	}
 }
 

@@ -12,16 +12,18 @@ import (
 )
 
 // Key returns the content hash identifying a job set: a SHA-256 over
-// the versioned wire encoding of every job. Because each job embeds its
-// machine, caches, seed and budget, two sweeps share a key exactly when
-// they are the same experiment — the determinism contract then
-// guarantees their results are identical, which is what makes serving
-// a repeat sweep from disk sound.
+// the wire encoding of every job. Because each job embeds its machine,
+// caches, seed and budget, two sweeps share a key exactly when they
+// are the same experiment — the determinism contract then guarantees
+// their results are identical, which is what makes serving a repeat
+// sweep from disk sound. The wire version is deliberately not part of
+// the hash: a version bump that leaves a job's encoding unchanged must
+// not orphan its cached results. (Pre-v2 caches hashed the version and
+// so miss once after upgrading; the stale files are harmless.)
 func Key(jobs []sweep.Job) (string, error) {
 	payload := struct {
-		Version int   `json:"version"`
-		Jobs    []Job `json:"jobs"`
-	}{Version: Version, Jobs: make([]Job, len(jobs))}
+		Jobs []Job `json:"jobs"`
+	}{Jobs: make([]Job, len(jobs))}
 	for i, j := range jobs {
 		payload.Jobs[i] = JobFrom(j)
 	}

@@ -73,11 +73,14 @@ func (e *Event) UnmarshalLine(line []byte) error {
 	return nil
 }
 
-// CheckVersion validates a decoded document's version field: the
-// current Version and zero (pre-versioning documents) are accepted.
+// CheckVersion validates a decoded document's version field: versions
+// 1 through the current Version and zero (pre-versioning documents)
+// are accepted. Older documents decode correctly because every field
+// added since version 1 is optional with version-1 semantics when
+// absent.
 func CheckVersion(v int) error {
-	if v != 0 && v != Version {
-		return fmt.Errorf("api: unsupported wire version %d (this build speaks %d)", v, Version)
+	if v < 0 || v > Version {
+		return fmt.Errorf("api: unsupported wire version %d (this build speaks 1..%d)", v, Version)
 	}
 	return nil
 }

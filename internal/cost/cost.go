@@ -20,11 +20,26 @@ type SchemeCost struct {
 }
 
 // ForScheme builds and costs the merge control of the named scheme on
-// machine m.
+// machine m. The name resolves like merge.Resolve, so registered
+// custom schemes and canonical tree expressions work; the IMT/BMT
+// baselines have no merge control and are an error.
 func ForScheme(m isa.Machine, name string) (SchemeCost, error) {
-	tree, err := merge.Parse(name, merge.PortsFor(name))
+	s, err := merge.Resolve(name)
 	if err != nil {
 		return SchemeCost{}, err
+	}
+	tree := s.Tree()
+	if tree == nil {
+		return SchemeCost{}, fmt.Errorf("cost: scheme %s has no merge control to cost", name)
+	}
+	return forTree(m, tree)
+}
+
+// ForTree builds and costs the merge control of an arbitrary merge
+// tree on machine m.
+func ForTree(m isa.Machine, tree *merge.Tree) (SchemeCost, error) {
+	if tree == nil {
+		return SchemeCost{}, fmt.Errorf("cost: nil merge tree")
 	}
 	return forTree(m, tree)
 }

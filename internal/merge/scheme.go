@@ -19,6 +19,7 @@ package merge
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -89,9 +90,16 @@ func (t *Tree) Ports() int { return t.ports }
 // Root returns the root merge node (used by the cost model).
 func (t *Tree) Root() *Node { return t.root }
 
+// MaxPorts bounds the number of thread ports a scheme may merge: the
+// selection mask is a uint32, so 32 is a hard hardware-model limit.
+const MaxPorts = 32
+
 // NewTree builds a scheme from an explicit node tree, validating that leaf
 // ports 0..ports-1 each appear exactly once.
 func NewTree(name string, root *Node, ports int) (*Tree, error) {
+	if ports < 2 || ports > MaxPorts {
+		return nil, fmt.Errorf("merge: scheme %s merges %d threads, want 2..%d", name, ports, MaxPorts)
+	}
 	seen := make([]bool, ports)
 	var walk func(n *Node) error
 	walk = func(n *Node) error {
@@ -215,49 +223,104 @@ func parseLevels(s string) ([]level, error) {
 //     balanced tree whose groups (T0,T1), (T2,T3) merge with X and whose
 //     root merges with Y.
 func Parse(name string, n int) (*Tree, error) {
-	if name == "" {
-		return nil, fmt.Errorf("merge: empty scheme name")
-	}
-	if name[0] == 'C' && len(name) > 1 && name[1] >= '0' && name[1] <= '9' {
-		var arity int
-		if _, err := fmt.Sscanf(name[1:], "%d", &arity); err != nil {
-			return nil, fmt.Errorf("merge: bad parallel scheme name %q", name)
+	if arity, ok, err := parallelArity(name); ok {
+		if err != nil {
+			return nil, err
 		}
 		if arity != n {
 			return nil, fmt.Errorf("merge: scheme %s merges %d threads, machine has %d ports", name, arity, n)
 		}
 		return ParallelCSMT(name, n)
 	}
-	if name[0] < '1' || name[0] > '9' {
-		return nil, fmt.Errorf("merge: scheme name %q must start with a level count or C<n>", name)
-	}
-	k := int(name[0] - '0')
-	levels, err := parseLevels(name[1:])
+	levels, ports, plain, err := parseCounted(name)
 	if err != nil {
 		return nil, err
 	}
-	if len(levels) != k {
-		return nil, fmt.Errorf("merge: scheme %s declares %d levels but names %d", name, k, len(levels))
-	}
 	// Port consumption under the cascade interpretation.
-	ports := 1
-	for i, lv := range levels {
-		switch {
-		case lv.arity == 0:
-			ports++
-		case i == 0:
-			ports += lv.arity - 1
-		default:
-			ports += lv.arity - 1
-		}
-	}
 	if ports == n {
 		return buildCascade(name, levels)
 	}
-	if k == 2 && levels[0].arity == 0 && levels[1].arity == 0 && n == 4 {
+	if len(levels) == 2 && plain && n == 4 {
 		return Balanced(name, levels[0].kind, levels[1].kind)
 	}
 	return nil, fmt.Errorf("merge: scheme %s merges %d threads, machine has %d ports", name, ports, n)
+}
+
+// parallelArity recognises the "C<n>" parallel scheme form. ok
+// reports whether the name is of that form at all; err reports a
+// malformed or out-of-range arity.
+func parallelArity(name string) (arity int, ok bool, err error) {
+	if len(name) < 2 || name[0] != 'C' || name[1] < '0' || name[1] > '9' {
+		return 0, false, nil
+	}
+	arity, aerr := strconv.Atoi(name[1:])
+	if aerr != nil || arity < 2 || arity > MaxPorts {
+		return 0, true, fmt.Errorf("merge: bad parallel scheme name %q", name)
+	}
+	return arity, true, nil
+}
+
+// parseCounted parses the "<k><levels>" cascade/balanced name form
+// shared by Parse and the name resolver: the level count, the levels,
+// and the port consumption under the cascade interpretation. plain
+// reports that every level is a serial two-input one — the
+// precondition for the paper's balanced-tree naming.
+func parseCounted(name string) (levels []level, ports int, plain bool, err error) {
+	if name == "" {
+		return nil, 0, false, fmt.Errorf("merge: empty scheme name")
+	}
+	if name[0] < '1' || name[0] > '9' {
+		return nil, 0, false, fmt.Errorf("merge: scheme name %q must start with a level count or C<n>", name)
+	}
+	k := int(name[0] - '0')
+	if levels, err = parseLevels(name[1:]); err != nil {
+		return nil, 0, false, err
+	}
+	if len(levels) != k {
+		return nil, 0, false, fmt.Errorf("merge: scheme %s declares %d levels but names %d", name, k, len(levels))
+	}
+	ports, plain = levelsPorts(levels)
+	return levels, ports, plain, nil
+}
+
+// parseName builds the scheme a paper name canonically denotes,
+// deriving the port count from the name itself: "Cn" merges n
+// threads, a cascade merges one thread plus one (or arity-1) per
+// level, and plain two-level names denote the balanced 4-thread
+// trees.
+func parseName(name string) (*Tree, error) {
+	if arity, ok, err := parallelArity(name); ok {
+		if err != nil {
+			return nil, err
+		}
+		return ParallelCSMT(name, arity)
+	}
+	levels, _, plain, err := parseCounted(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(levels) == 2 && plain {
+		// The paper's balanced-tree naming (2CC, 2CS, 2SC, 2SS).
+		return Balanced(name, levels[0].kind, levels[1].kind)
+	}
+	return buildCascade(name, levels)
+}
+
+// levelsPorts returns the thread-port count a cascade of the given
+// levels consumes — one port plus one per serial level (or arity-1 per
+// parallel level) — and whether every level is a plain serial one (the
+// precondition for the paper's balanced-tree naming).
+func levelsPorts(levels []level) (ports int, plain bool) {
+	ports, plain = 1, true
+	for _, lv := range levels {
+		if lv.arity == 0 {
+			ports++
+			continue
+		}
+		plain = false
+		ports += lv.arity - 1
+	}
+	return ports, plain
 }
 
 func buildCascade(name string, levels []level) (*Tree, error) {
@@ -293,50 +356,27 @@ func PaperSchemes4() []string {
 	}
 }
 
-// PortsFor returns the number of thread ports scheme name merges,
-// inferred from the name structure: "Cn" merges n threads; cascades merge
-// one thread plus one (or, for parallel levels, arity-1) per level;
-// two-level names with plain letters follow the paper's convention and
-// denote the balanced 4-thread trees. Unparseable names default to 4 (the
-// subsequent Parse reports the error).
+// PortsFor returns the number of thread ports the named scheme merges,
+// resolving the name like Resolve (registered names and tree
+// expressions included), and 4 when the name cannot be resolved.
+//
+// Deprecated: PortsFor cannot distinguish "merges 4 threads" from
+// "unknown name". Use Ports, which reports an error instead of
+// defaulting; PortsFor is kept because vliwmt.SchemeThreads promises
+// its forgiving behaviour.
 func PortsFor(name string) int {
-	if len(name) > 1 && name[0] == 'C' && name[1] >= '0' && name[1] <= '9' {
-		n := 0
-		if _, err := fmt.Sscanf(name[1:], "%d", &n); err == nil && n >= 2 {
-			return n
-		}
+	n, err := Ports(name)
+	if err != nil {
 		return 4
 	}
-	if name == "" || name[0] < '1' || name[0] > '9' {
-		return 4
-	}
-	k := int(name[0] - '0')
-	levels, err := parseLevels(name[1:])
-	if err != nil || len(levels) != k {
-		return 4
-	}
-	plain := true
-	ports := 1
-	for i, lv := range levels {
-		if lv.arity == 0 {
-			ports++
-			continue
-		}
-		plain = false
-		if i == 0 {
-			ports += lv.arity - 1
-		} else {
-			ports += lv.arity - 1
-		}
-	}
-	if k == 2 && plain {
-		return 4 // the paper's balanced-tree naming (2CC, 2CS, 2SC, 2SS)
-	}
-	return ports
+	return n
 }
 
-// String renders the tree structure, e.g. "C(S(T0,T1),T2,T3)".
-func (t *Tree) String() string {
+// String renders the tree structure in the canonical grammar
+// ParseTreeExpr accepts, e.g. "C(S(T0,T1),T2,T3)".
+func (t *Tree) String() string { return renderNode(t.root) }
+
+func renderNode(root *Node) string {
 	var b strings.Builder
 	var walk func(n *Node)
 	walk = func(n *Node) {
@@ -357,6 +397,6 @@ func (t *Tree) String() string {
 		}
 		b.WriteByte(')')
 	}
-	walk(t.root)
+	walk(root)
 	return b.String()
 }

@@ -127,15 +127,14 @@ func (s *BMT) Select(m *isa.Machine, cands []*isa.Occupancy) Selection {
 	return Selection{}
 }
 
-// NewSelector builds a Selector by name: a merging scheme name understood
-// by Parse, or the baselines "IMT" and "BMT". ports is the number of
-// hardware thread ports.
+// NewSelector builds a Selector by name — anything Resolve accepts: a
+// paper scheme name, a registered custom scheme, a canonical tree
+// expression, or the baselines "IMT" and "BMT". ports is the number of
+// hardware thread ports; tree-backed schemes must match it exactly.
 func NewSelector(name string, ports int) (Selector, error) {
-	switch name {
-	case "IMT":
-		return &IMT{NumPorts: ports}, nil
-	case "BMT":
-		return &BMT{NumPorts: ports}, nil
+	s, err := Resolve(name)
+	if err != nil {
+		return nil, err
 	}
-	return Parse(name, ports)
+	return s.Selector(ports)
 }

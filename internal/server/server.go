@@ -308,8 +308,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	for _, j := range req.Jobs {
-		jobs = append(jobs, j.Sweep())
+	for i, j := range req.Jobs {
+		sj, err := j.Sweep()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "job %d: %v", i, err)
+			return
+		}
+		jobs = append(jobs, sj)
 	}
 	for i, j := range jobs {
 		if err := j.Validate(); err != nil {

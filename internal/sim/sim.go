@@ -31,9 +31,15 @@ type Config struct {
 	PerfectMemory bool
 	// Contexts is the number of hardware thread contexts (virtual CPUs).
 	Contexts int
-	// Scheme names the merge control ("3SSS", "2SC3", "C4", ..., "IMT",
-	// "BMT"). Ignored when Contexts == 1.
+	// Scheme names the merge control: a paper name ("3SSS", "2SC3",
+	// "C4", ...), a baseline ("IMT", "BMT"), a name registered with
+	// merge.Register, or a canonical tree expression such as
+	// "C(S(T0,T1),T2,T3)". Ignored when Contexts == 1 or Merge is set.
 	Scheme string
+	// Merge, when set, is the merge control as a first-class scheme and
+	// takes precedence over Scheme. Unknown names and port/context
+	// mismatches fail at Run entry, before any simulation work.
+	Merge merge.Scheme
 	// TimesliceCycles is the OS scheduling quantum (default 1,000,000).
 	TimesliceCycles int64
 	// InstrLimit ends the run when any thread retires this many VLIW
@@ -185,12 +191,17 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 	if cfg.Contexts == 1 {
 		sel = &merge.IMT{NumPorts: 1} // trivial single-thread issue
 	} else {
-		sel, err = merge.NewSelector(cfg.Scheme, cfg.Contexts)
-		if err != nil {
-			return nil, err
+		sch := cfg.Merge
+		if sch.IsZero() {
+			if sch, err = merge.Resolve(cfg.Scheme); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+		}
+		if sel, err = sch.Selector(cfg.Contexts); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
 		}
 		if sel.Ports() != cfg.Contexts {
-			return nil, fmt.Errorf("sim: scheme %s has %d ports, machine has %d contexts", cfg.Scheme, sel.Ports(), cfg.Contexts)
+			return nil, fmt.Errorf("sim: scheme %s has %d ports, machine has %d contexts", sch.Name(), sel.Ports(), cfg.Contexts)
 		}
 	}
 	var ic, dc *cache.Cache

@@ -20,8 +20,9 @@ func DefaultSchemes() []string { return merge.PaperSchemes4() }
 // caches, a 300k-instruction budget with a 1%-of-budget timeslice, and
 // seed 1.
 type Grid struct {
-	// Schemes are merge-control names; empty selects the paper's
-	// sixteen Figure 9 schemes.
+	// Schemes are merge-control names — paper names, baselines,
+	// registered custom schemes or canonical tree expressions; empty
+	// selects the paper's sixteen Figure 9 schemes.
 	Schemes []string
 	// Mixes are Table 2 mix names; empty selects all nine.
 	Mixes []string
@@ -67,7 +68,7 @@ func (g Grid) Jobs() ([]Job, error) {
 		schemes = DefaultSchemes()
 	}
 	for _, s := range schemes {
-		if _, err := merge.NewSelector(s, merge.PortsFor(s)); err != nil {
+		if _, err := merge.Resolve(s); err != nil {
 			return nil, fmt.Errorf("sweep: grid: scheme %s: %w", s, err)
 		}
 	}

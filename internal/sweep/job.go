@@ -29,13 +29,20 @@ type Job struct {
 	// Label identifies the job in progress reports and results,
 	// e.g. "LLHH/2SC3". Optional; Describe derives one when empty.
 	Label string
-	// Scheme names the merge control ("3SSS", "2SC3", "C4", ...).
-	// Empty means no merging (single-context multitasking).
+	// Scheme names the merge control: a paper name ("3SSS", "2SC3",
+	// "C4", ...), a baseline ("IMT", "BMT"), a name registered via
+	// merge.Register, or a canonical tree expression such as
+	// "C(S(T0,T1),T2,T3)". Empty means no merging (single-context
+	// multitasking) unless Merge is set.
 	Scheme string
+	// Merge, when set, is the merge control as a first-class scheme
+	// and takes precedence over Scheme. It lets jobs carry custom
+	// trees that have no resolvable name (e.g. across the wire).
+	Merge merge.Scheme
 	// Benchmarks are the software threads, by Table 1 benchmark name.
 	Benchmarks []string
 	// Contexts is the hardware context count; 0 derives it from the
-	// scheme (merge.PortsFor), or 1 when Scheme is empty.
+	// resolved merge scheme, or 1 when no scheme is set.
 	Contexts int
 	// Machine, ICache and DCache describe the simulated processor.
 	Machine isa.Machine
@@ -52,16 +59,34 @@ type Job struct {
 	Seed uint64
 }
 
+// scheme resolves the job's merge control: the typed Merge field when
+// set, else the Scheme name through merge.Resolve. A zero Scheme with
+// no error means single-context multitasking.
+func (j Job) scheme() (merge.Scheme, error) {
+	if !j.Merge.IsZero() {
+		return j.Merge, nil
+	}
+	if j.Scheme == "" {
+		return merge.Scheme{}, nil
+	}
+	return merge.Resolve(j.Scheme)
+}
+
 // EffectiveContexts returns the hardware context count the job runs
-// with: Contexts when set, else derived from the scheme.
+// with: Contexts when set, else derived from the merge scheme. An
+// unresolvable scheme yields 0; Validate reports the actual error.
 func (j Job) EffectiveContexts() int {
 	if j.Contexts > 0 {
 		return j.Contexts
 	}
-	if j.Scheme == "" {
+	s, err := j.scheme()
+	if err != nil {
+		return 0
+	}
+	if s.IsZero() {
 		return 1
 	}
-	return merge.PortsFor(j.Scheme)
+	return s.Ports()
 }
 
 // Describe returns the job's label, deriving "bench+.../scheme" when no
@@ -78,6 +103,9 @@ func (j Job) Describe() string {
 		}
 	}
 	s := j.Scheme
+	if s == "" && !j.Merge.IsZero() {
+		s = j.Merge.Name()
+	}
 	if s == "" {
 		s = "ST"
 	}
@@ -93,6 +121,7 @@ func (j Job) config() sim.Config {
 		PerfectMemory:   j.PerfectMemory,
 		Contexts:        j.EffectiveContexts(),
 		Scheme:          j.Scheme,
+		Merge:           j.Merge,
 		TimesliceCycles: j.TimesliceCycles,
 		InstrLimit:      j.InstrLimit,
 		Seed:            j.Seed,
@@ -112,11 +141,15 @@ func (j Job) Validate() error {
 			return fmt.Errorf("sweep: job %s: %w", j.Describe(), err)
 		}
 	}
-	if j.Scheme != "" {
-		// NewSelector also rejects scheme/port mismatches, so an explicit
+	s, err := j.scheme()
+	if err != nil {
+		return fmt.Errorf("sweep: job %s: scheme %q: %w", j.Describe(), j.Scheme, err)
+	}
+	if !s.IsZero() {
+		// Selector also rejects scheme/port mismatches, so an explicit
 		// Contexts that disagrees with the scheme fails here too.
-		if _, err := merge.NewSelector(j.Scheme, j.EffectiveContexts()); err != nil {
-			return fmt.Errorf("sweep: job %s: scheme %q: %w", j.Describe(), j.Scheme, err)
+		if _, err := s.Selector(j.EffectiveContexts()); err != nil {
+			return fmt.Errorf("sweep: job %s: %w", j.Describe(), err)
 		}
 	}
 	return nil

@@ -10,7 +10,9 @@
 //   - a dataflow-IR kernel builder and optimising compiler
 //     (NewKernel, CompileKernel) standing in for the VEX C compiler,
 //   - the merge-control schemes — SMT, CSMT, and the paper's sixteen
-//     cascade/tree combinations such as 2SC3 — selectable by name,
+//     cascade/tree combinations such as 2SC3 — selectable by name or
+//     built as first-class typed merge trees (Scheme, ParseScheme,
+//     CascadeScheme, OpNode/ClusterNode, RegisterScheme),
 //   - a multithreaded cycle-level simulator with shared caches, taken
 //     branch squash and a multitasking OS model (Run, RunMix),
 //   - the twelve Table 1 benchmarks and nine Table 2 workload mixes
@@ -23,12 +25,37 @@
 //   - a long-lived session API (Runner) and an HTTP client (Client) that
 //     submits the same grids to a remote vliwserve instance.
 //
-// The quickest start:
+// The quickest start, by scheme name:
 //
 //	cfg := vliwmt.DefaultConfig()
 //	cfg.Scheme = "2SC3"
 //	res, err := vliwmt.RunMix(cfg, "LLHH")
 //	fmt.Println(res.IPC)
+//
+// # First-class merge schemes
+//
+// Scheme names are one spelling of a typed value: a Scheme wraps the
+// merge-control tree itself. The same run with a typed scheme:
+//
+//	sch, err := vliwmt.ParseScheme("2SC3") // or "C3(S(T0,T1),T2,T3)"
+//	cfg := vliwmt.DefaultConfig()
+//	cfg.Merge = sch
+//	res, err := vliwmt.RunMix(cfg, "LLHH")
+//
+// Beyond the paper's sixteen names, trees compose freely from
+// constructors (CascadeScheme, BalancedScheme, ParallelCSMT) or node
+// builders:
+//
+//	sch, err := vliwmt.NewScheme("hybrid",
+//	    vliwmt.OpNode(vliwmt.ClusterNode(vliwmt.Thread(0), vliwmt.Thread(1), vliwmt.Thread(2)),
+//	        vliwmt.Thread(3)))
+//	vliwmt.RegisterScheme("hybrid", sch) // "hybrid" now works everywhere a name does
+//
+// Registered names resolve process-wide — Config.Scheme, Grid.Schemes,
+// Cost, the CLIs — and Client inlines their trees on the wire, so a
+// remote vliwserve needs no matching registration. Canonical tree
+// expressions (the grammar DescribeScheme emits, e.g.
+// "C(S(T0,T1),T2,T3)") are accepted anywhere a name is.
 //
 // # Runners and the top-level functions
 //
@@ -148,17 +175,32 @@ func RunMix(cfg Config, mixName string) (*Result, error) {
 // "1S" is the 2-thread SMT reference.
 func Schemes() []string { return merge.PaperSchemes4() }
 
-// SchemeThreads returns how many hardware threads the named scheme merges.
+// SchemeThreads returns how many hardware threads the named scheme
+// merges, and 4 when the name cannot be resolved (the paper's machine
+// width) — including for the IMT/BMT baselines, which run at any
+// width.
+//
+// Deprecated: the silent 4-thread fallback cannot distinguish
+// "merges 4 threads" from "unknown name"; it is kept for existing
+// callers that size contexts before validation. Prefer
+// ParseScheme(name) and Scheme.Ports, which report unknown names as
+// errors — as Config and SweepJob resolution now does.
 func SchemeThreads(name string) int { return merge.PortsFor(name) }
 
-// DescribeScheme renders the merge tree of a scheme, e.g.
-// "C3(S(T0,T1),T2,T3)" for 2SC3.
+// DescribeScheme renders the merge tree of a scheme in the canonical
+// grammar ParseScheme accepts back, e.g. "C3(S(T0,T1),T2,T3)" for
+// 2SC3. Registered custom schemes and tree expressions resolve too;
+// the IMT/BMT baselines, which have no tree, yield a prose
+// description.
 func DescribeScheme(name string) (string, error) {
-	tree, err := merge.Parse(name, merge.PortsFor(name))
+	s, err := merge.Resolve(name)
 	if err != nil {
 		return "", err
 	}
-	return tree.String(), nil
+	if s.Tree() == nil {
+		return s.Describe(), nil
+	}
+	return s.String(), nil
 }
 
 // SchemeCost is the gate-level hardware cost of one merge control.
@@ -166,6 +208,9 @@ type SchemeCost = cost.SchemeCost
 
 // Cost computes the transistor count and gate-delay depth of the named
 // scheme's thread merge control on machine m (the paper's Figure 9).
+// The name resolves like ParseScheme, so registered custom schemes and
+// tree expressions are costed too; see SchemeCostFor for the typed
+// equivalent.
 func Cost(m Machine, scheme string) (SchemeCost, error) {
 	return cost.ForScheme(m, scheme)
 }

@@ -1,0 +1,33 @@
+# Development targets. The repo is plain `go build ./...` / `go test
+# ./...`; make exists for the composite perf workflows.
+
+# Pipelines must fail when `go test -bench` fails, not report the JSON
+# emitter's status — otherwise a panicking benchmark would silently
+# write a partial BENCH_simcore.json and keep CI green.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+SIMCORE_BENCHES = BenchmarkTable1$$|BenchmarkSimulator$$|BenchmarkStallHeavy$$|BenchmarkStallHeavyRef$$|BenchmarkMergeSelect$$|BenchmarkMergeSelectRef$$
+
+.PHONY: test bench-simcore bench-simcore-ci
+
+test:
+	go build ./... && go test ./...
+
+# bench-simcore runs the simulator-core benchmarks at measurement
+# quality and rewrites BENCH_simcore.json, the committed machine-readable
+# perf record (ns/op, allocs/op, cycles/s; see DESIGN.md). Run it on a
+# quiet machine when a PR touches the hot path, and commit the result so
+# the perf trajectory stays diffable.
+bench-simcore:
+	go test -run '^$$' -bench '$(SIMCORE_BENCHES)' -benchmem -benchtime 2s -count 1 . \
+		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_simcore.json
+
+# bench-simcore-ci is the cheap CI variant: one iteration per benchmark,
+# just enough to prove the harness and the JSON emitter stay healthy.
+# CI machines are too noisy for the committed numbers, so the output
+# goes to a scratch file, not BENCH_simcore.json.
+bench-simcore-ci:
+	go test -run '^$$' -bench '$(SIMCORE_BENCHES)' -benchmem -benchtime 1x -count 1 . \
+		| go run ./cmd/benchjson > /tmp/bench_simcore_ci.json
+	cat /tmp/bench_simcore_ci.json

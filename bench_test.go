@@ -18,6 +18,7 @@ import (
 	"vliwmt/internal/isa"
 	"vliwmt/internal/logic"
 	"vliwmt/internal/merge"
+	"vliwmt/internal/refsim"
 	"vliwmt/internal/sim"
 	"vliwmt/internal/workload"
 )
@@ -215,18 +216,15 @@ func BenchmarkRunnerReuse(b *testing.B) {
 
 // --- Micro-benchmarks -----------------------------------------------
 
-// BenchmarkMergeSelect measures the behavioural merge-stage selection
-// throughput of the recommended scheme.
-func BenchmarkMergeSelect(b *testing.B) {
-	m := isa.Default()
-	tree, err := merge.Parse("2SC3", 4)
-	if err != nil {
-		b.Fatal(err)
-	}
+// mergeSelectSets builds 256 random candidate sets in the Selector
+// convention (value slice + valid bitmask).
+func mergeSelectSets() ([][]isa.Occupancy, []uint32) {
 	r := rand.New(rand.NewSource(1))
-	var sets [][]*isa.Occupancy
+	var sets [][]isa.Occupancy
+	var valids []uint32
 	for i := 0; i < 256; i++ {
-		cands := make([]*isa.Occupancy, 4)
+		cands := make([]isa.Occupancy, 4)
+		var valid uint32
 		for p := range cands {
 			if r.Intn(5) == 0 {
 				continue
@@ -235,14 +233,46 @@ func BenchmarkMergeSelect(b *testing.B) {
 			for j := 0; j < 1+r.Intn(6); j++ {
 				ops = append(ops, isa.Op{Class: isa.OpALU, Cluster: uint8(r.Intn(4))})
 			}
-			occ := isa.OccupancyOf(ops)
-			cands[p] = &occ
+			cands[p] = isa.OccupancyOf(ops)
+			valid |= 1 << uint(p)
 		}
 		sets = append(sets, cands)
+		valids = append(valids, valid)
 	}
+	return sets, valids
+}
+
+// BenchmarkMergeSelect measures the compiled merge-stage selection
+// throughput of the recommended scheme — the evaluator sim.Run drives
+// every cycle.
+func BenchmarkMergeSelect(b *testing.B) {
+	m := isa.Default()
+	tree, err := merge.Parse("2SC3", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := merge.Compile(tree)
+	sets, valids := mergeSelectSets()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tree.Select(&m, sets[i%len(sets)])
+		sel.Select(&m, sets[i%len(sets)], valids[i%len(valids)])
+	}
+}
+
+// BenchmarkMergeSelectRef measures the recursive reference tree walk on
+// the same inputs — the pre-compilation selection path, kept as the
+// refsim oracle. The gap to BenchmarkMergeSelect is the compiled
+// selector's win.
+func BenchmarkMergeSelectRef(b *testing.B) {
+	m := isa.Default()
+	tree, err := merge.Parse("2SC3", 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets, valids := mergeSelectSets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Select(&m, sets[i%len(sets)], valids[i%len(valids)])
 	}
 }
 
@@ -279,6 +309,67 @@ func BenchmarkSimulator(b *testing.B) {
 		b.ReportMetric(float64(cycles)/sec, "cycles/s")
 	}
 }
+
+// stallHeavyConfig is the miss-dominated regime of the realistic-memory
+// experiments, exaggerated: a small data cache with a long miss penalty,
+// so all four threads spend most cycles stalled together. This is the
+// workload the stall fast-forward exists for (DESIGN.md) — the naive
+// loop burns one iteration per stalled cycle, the optimized loop jumps
+// straight to the next wake-up.
+func stallHeavyConfig() vliwmt.Config {
+	cfg := vliwmt.DefaultConfig()
+	cfg.Scheme = "2SC3"
+	cfg.InstrLimit = 20_000
+	cfg.TimesliceCycles = 5_000
+	cfg.DCache = cache.Config{Size: 2 << 10, LineSize: 64, Ways: 2, MissPenalty: 200}
+	return cfg
+}
+
+func stallHeavyTasks(b *testing.B, cfg vliwmt.Config) []sim.Task {
+	b.Helper()
+	mix, err := workload.MixByName("LLLL")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tasks []sim.Task
+	for _, name := range mix.Members {
+		p, err := vliwmt.CompileBenchmark(name, cfg.Machine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks = append(tasks, sim.Task{Name: name, Prog: p})
+	}
+	return tasks
+}
+
+// benchStall runs the miss-heavy workload through run and reports
+// simulated cycles per second.
+func benchStall(b *testing.B, run func(vliwmt.Config, []sim.Task) (*vliwmt.Result, error)) {
+	cfg := stallHeavyConfig()
+	tasks := stallHeavyTasks(b, cfg)
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := run(cfg, tasks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cycles)/sec, "cycles/s")
+	}
+}
+
+// BenchmarkStallHeavy measures the optimized simulator on the
+// miss-dominated workload (stall fast-forward active).
+func BenchmarkStallHeavy(b *testing.B) { benchStall(b, sim.Run) }
+
+// BenchmarkStallHeavyRef measures the naive reference loop (the
+// pre-optimization simulator, kept as the refsim oracle) on the same
+// workload; the ratio to BenchmarkStallHeavy is the fast-forward win.
+func BenchmarkStallHeavyRef(b *testing.B) { benchStall(b, refsim.Run) }
 
 // BenchmarkCompile measures compilation of the widest kernel.
 func BenchmarkCompile(b *testing.B) {

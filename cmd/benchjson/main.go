@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into machine-readable JSON (written to stdout), so benchmark
+// results can be committed and diffed across PRs:
+//
+//	go test -run '^$' -bench 'BenchmarkSimulator$' -benchmem . | benchjson > BENCH_simcore.json
+//
+// Standard pairs (ns/op, B/op, allocs/op) become dedicated fields;
+// every custom b.ReportMetric pair (cycles/s, avg-IPCp, ...) lands in
+// the metrics map. `make bench-simcore` and the CI benchmark step use
+// it to track the simulator-core perf trajectory in BENCH_simcore.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, *b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses one result line: name-GOMAXPROCS, the iteration
+// count, then (value, unit) pairs.
+func parseLine(line string) (*Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return nil, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		name = name[:i] // strip the -GOMAXPROCS suffix
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	b := &Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q in %q: %w", fields[i], line, err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			v := val
+			b.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			b.AllocsPerOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}

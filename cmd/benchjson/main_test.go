@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: vliwmt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulator-8    236   9986496 ns/op   4500277 cycles/s   66016 B/op   50 allocs/op
+BenchmarkMergeSelect-8  40176591   56.56 ns/op   0 B/op   0 allocs/op
+PASS
+ok   vliwmt  18.418s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Package != "vliwmt" || rep.CPU == "" {
+		t.Errorf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	sim := rep.Benchmarks[0]
+	if sim.Name != "BenchmarkSimulator" || sim.Iterations != 236 || sim.NsPerOp != 9986496 {
+		t.Errorf("simulator line wrong: %+v", sim)
+	}
+	if sim.Metrics["cycles/s"] != 4500277 {
+		t.Errorf("custom metric wrong: %+v", sim.Metrics)
+	}
+	if sim.BytesPerOp == nil || *sim.BytesPerOp != 66016 || sim.AllocsPerOp == nil || *sim.AllocsPerOp != 50 {
+		t.Errorf("benchmem pair wrong: %+v", sim)
+	}
+	ms := rep.Benchmarks[1]
+	if ms.NsPerOp != 56.56 || *ms.AllocsPerOp != 0 {
+		t.Errorf("merge-select line wrong: %+v", ms)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 12 ns/op",
+		"BenchmarkX 10 nan.x ns/op",
+	} {
+		if _, err := parseLine(line); err == nil {
+			t.Errorf("parseLine(%q) succeeded", line)
+		}
+	}
+}

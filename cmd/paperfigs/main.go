@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"vliwmt/internal/experiments"
+	"vliwmt/internal/profiling"
 	"vliwmt/internal/report"
 	"vliwmt/internal/sweep"
 	"vliwmt/internal/workload"
@@ -39,22 +40,41 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperfigs: ")
 	var (
-		all     = flag.Bool("all", false, "emit every table and figure")
-		table1  = flag.Bool("table1", false, "Table 1")
-		table2  = flag.Bool("table2", false, "Table 2")
-		fig4    = flag.Bool("fig4", false, "Figure 4")
-		fig5    = flag.Bool("fig5", false, "Figure 5")
-		fig6    = flag.Bool("fig6", false, "Figure 6")
-		fig9    = flag.Bool("fig9", false, "Figure 9")
-		fig10   = flag.Bool("fig10", false, "Figure 10")
-		fig11   = flag.Bool("fig11", false, "Figure 11")
-		fig12   = flag.Bool("fig12", false, "Figure 12")
-		ext8    = flag.Bool("ext8", false, "extension: 8-thread scaling (beyond the paper)")
-		instrs  = flag.Int64("instrs", 500_000, "per-thread instruction budget")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		workers = flag.Int("workers", 0, "sweep worker pool size (0: all cores); results are identical at any count")
+		all        = flag.Bool("all", false, "emit every table and figure")
+		table1     = flag.Bool("table1", false, "Table 1")
+		table2     = flag.Bool("table2", false, "Table 2")
+		fig4       = flag.Bool("fig4", false, "Figure 4")
+		fig5       = flag.Bool("fig5", false, "Figure 5")
+		fig6       = flag.Bool("fig6", false, "Figure 6")
+		fig9       = flag.Bool("fig9", false, "Figure 9")
+		fig10      = flag.Bool("fig10", false, "Figure 10")
+		fig11      = flag.Bool("fig11", false, "Figure 11")
+		fig12      = flag.Bool("fig12", false, "Figure 12")
+		ext8       = flag.Bool("ext8", false, "extension: 8-thread scaling (beyond the paper)")
+		instrs     = flag.Int64("instrs", 500_000, "per-thread instruction budget")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0: all cores); results are identical at any count")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
+	stopProf, perr := profiling.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		log.Fatal(perr)
+	}
+	// Fatal paths go through fatal() so an error mid-regeneration still
+	// flushes the profiles instead of leaving a truncated cpu.prof.
+	fatal := func(v ...any) {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+		log.Fatal(v...)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 	opts := experiments.DefaultOptions().Scale(*instrs)
 	opts.Seed = *seed
 	opts.Workers = *workers
@@ -84,7 +104,7 @@ func main() {
 		done := timed("Table 1")
 		rows, err := experiments.Table1(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintln(w, "== Table 1: benchmarks (measured vs paper) ==")
 		var tr [][]string
@@ -111,7 +131,7 @@ func main() {
 		done := timed("Figure 4")
 		f, err := experiments.Fig4(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintln(w, "== Figure 4: SMT performance vs thread count ==")
 		report.BarChart(w, "average IPC over the nine workloads",
@@ -125,7 +145,7 @@ func main() {
 	if want(fig5) {
 		pts, err := experiments.Fig5(opts.Machine)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintln(w, "== Figure 5: thread merge control cost vs threads ==")
 		var tr [][]string
@@ -158,7 +178,7 @@ func main() {
 		done := timed("Figure 6")
 		rows, err := experiments.Fig6(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintln(w, "== Figure 6: SMT performance advantage over CSMT (4 threads) ==")
 		var labels []string
@@ -182,7 +202,7 @@ func main() {
 	if want(fig9) {
 		costs, err := experiments.Fig9(opts.Machine)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintln(w, "== Figure 9: merging hardware cost per scheme ==")
 		var tr [][]string
@@ -205,7 +225,7 @@ func main() {
 		var err error
 		fig10Rows, err = experiments.Fig10(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		done()
 		any = true
@@ -230,7 +250,7 @@ func main() {
 	if *all || *fig11 || *fig12 {
 		pts, err := experiments.Tradeoffs(opts.Machine, fig10Rows)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if *all || *fig11 {
 			fmt.Fprintln(w, "== Figure 11: performance vs transistors ==")
@@ -246,7 +266,7 @@ func main() {
 		done := timed("Extension: 8 threads")
 		rows, err := experiments.Scaling8(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Fprintln(w, "== Extension: 8 hardware threads (beyond the paper) ==")
 		var tr [][]string

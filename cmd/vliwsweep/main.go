@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"vliwmt"
+	"vliwmt/internal/profiling"
 	"vliwmt/internal/report"
 	"vliwmt/internal/sweep"
 )
@@ -93,6 +94,8 @@ func main() {
 		sharedSeed = flag.Bool("sharedseed", false, "give every job the sweep seed verbatim")
 		format     = flag.String("format", "text", "output format: text, json or csv")
 		progress   = flag.Bool("progress", false, "report per-job progress on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
 	flag.Parse()
 	switch *format {
@@ -100,6 +103,24 @@ func main() {
 	default:
 		log.Fatalf("unknown -format %q (want text, json or csv)", *format)
 	}
+	// Profiling starts only after flag validation, and fatal paths go
+	// through fatal() below so an error mid-sweep still flushes the
+	// profiles instead of leaving a truncated cpu.prof.
+	stopProf, perr := profiling.Start(*cpuprofile, *memprofile)
+	if perr != nil {
+		log.Fatal(perr)
+	}
+	fatal := func(v ...any) {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+		log.Fatal(v...)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	grid := vliwmt.Grid{
 		Schemes:         split(*schemes),
@@ -142,7 +163,7 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	if err != nil && results == nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	var rows []row
@@ -173,7 +194,7 @@ func main() {
 	switch *format {
 	case "json":
 		if jerr := report.JSON(w, rows); jerr != nil {
-			log.Fatal(jerr)
+			fatal(jerr)
 		}
 	case "csv":
 		headers := []string{"mix", "scheme", "contexts", "seed", "ipc", "cycles", "instrs", "ops", "elapsed_sec"}
@@ -184,7 +205,7 @@ func main() {
 				fmt.Sprintf("%.3f", r.ElapsedSec)})
 		}
 		if cerr := report.CSV(w, headers, tr); cerr != nil {
-			log.Fatal(cerr)
+			fatal(cerr)
 		}
 	case "text":
 		var tr [][]string
@@ -197,6 +218,6 @@ func main() {
 			len(rows), len(results), elapsed.Seconds(), sweep.PoolSize(*workers))
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 }

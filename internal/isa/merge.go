@@ -1,0 +1,71 @@
+package isa
+
+// In-place merge primitives for the simulator hot path. They are the
+// fused check-then-union forms of CompatSMT/CompatCSMT + Union: one
+// pointer-based call per merge attempt, no Occupancy copies, and on
+// success dst accumulates src exactly as Union would have.
+
+// UsedClusters returns the cluster bitmask of o (bit c set when cluster
+// c issues at least one operation) without copying the occupancy.
+func UsedClusters(o *Occupancy) uint8 {
+	var m uint8
+	for c := range o.Clusters {
+		if o.Clusters[c].Total > 0 {
+			m |= 1 << uint(c)
+		}
+	}
+	return m
+}
+
+// Accumulate adds src into dst in place (the in-place form of Union).
+// Callers must have verified compatibility first.
+func (o *Occupancy) Accumulate(src *Occupancy) {
+	for c := range o.Clusters {
+		o.Clusters[c].Total += src.Clusters[c].Total
+		o.Clusters[c].Mul += src.Clusters[c].Mul
+		o.Clusters[c].Mem += src.Clusters[c].Mem
+		o.Clusters[c].Branch += src.Clusters[c].Branch
+	}
+	o.Ops += src.Ops
+}
+
+// AccumSMT merges src into dst at operation level on machine m when the
+// two are SMT-compatible, reporting whether the merge happened. It is
+// exactly CompatSMT followed by Union, without copying either occupancy.
+func AccumSMT(dst, src *Occupancy, m *Machine) bool {
+	for c := 0; c < m.Clusters; c++ {
+		ua, ub := &dst.Clusters[c], &src.Clusters[c]
+		if ua.Total == 0 || ub.Total == 0 {
+			continue
+		}
+		if int(ua.Total)+int(ub.Total) > m.IssueWidth {
+			return false
+		}
+		if int(ua.Mul)+int(ub.Mul) > m.Muls {
+			return false
+		}
+		if int(ua.Mem)+int(ub.Mem) > m.MemUnits {
+			return false
+		}
+		br := 0
+		if c < m.BranchClusters {
+			br = 1
+		}
+		if int(ua.Branch)+int(ub.Branch) > br {
+			return false
+		}
+	}
+	dst.Accumulate(src)
+	return true
+}
+
+// AccumCSMT merges src into dst at cluster level when their cluster
+// sets are disjoint, reporting whether the merge happened. It is exactly
+// CompatCSMT followed by Union, without copying either occupancy.
+func AccumCSMT(dst, src *Occupancy) bool {
+	if UsedClusters(dst)&UsedClusters(src) != 0 {
+		return false
+	}
+	dst.Accumulate(src)
+	return true
+}

@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randOcc(r *rand.Rand, m *Machine) Occupancy {
+	var ops []Op
+	for c := 0; c < m.Clusters; c++ {
+		for i := r.Intn(m.IssueWidth + 1); i > 0; i-- {
+			class := OpALU
+			switch r.Intn(5) {
+			case 0:
+				class = OpMul
+			case 1:
+				class = OpMem
+			case 2:
+				if i == 1 {
+					class = OpBranch
+				}
+			}
+			ops = append(ops, Op{Class: class, Cluster: uint8(c)})
+		}
+	}
+	return OccupancyOf(ops)
+}
+
+// TestAccumMatchesCompatUnion: the fused in-place merge primitives must
+// agree with the two-step Compat* + Union forms — same verdict, and on
+// success the same merged occupancy; on failure dst untouched.
+func TestAccumMatchesCompatUnion(t *testing.T) {
+	m := Default()
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randOcc(r, &m), randOcc(r, &m)
+
+		dst := a
+		if got, want := AccumSMT(&dst, &b, &m), a.CompatSMT(b, &m); got != want {
+			t.Fatalf("AccumSMT verdict %v != CompatSMT %v for %v + %v", got, want, a, b)
+		} else if want && dst != a.Union(b) {
+			t.Fatalf("AccumSMT result %v != Union %v", dst, a.Union(b))
+		} else if !want && dst != a {
+			t.Fatalf("failed AccumSMT mutated dst: %v -> %v", a, dst)
+		}
+
+		dst = a
+		if got, want := AccumCSMT(&dst, &b), a.CompatCSMT(b); got != want {
+			t.Fatalf("AccumCSMT verdict %v != CompatCSMT %v for %v + %v", got, want, a, b)
+		} else if want && dst != a.Union(b) {
+			t.Fatalf("AccumCSMT result %v != Union %v", dst, a.Union(b))
+		} else if !want && dst != a {
+			t.Fatalf("failed AccumCSMT mutated dst: %v -> %v", a, dst)
+		}
+
+		if UsedClusters(&a) != a.ClusterMask() {
+			t.Fatalf("UsedClusters %08b != ClusterMask %08b", UsedClusters(&a), a.ClusterMask())
+		}
+	}
+}

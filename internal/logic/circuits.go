@@ -430,16 +430,17 @@ func (c *Circuit) Ports() int { return c.ports }
 // Cost returns transistor count and gate-delay depth of the live circuit.
 func (c *Circuit) Cost() (transistors, delay int) { return c.Net.Cost() }
 
-// Evaluate feeds the candidate occupancies (nil = thread stalled) into the
+// Evaluate feeds the candidate occupancies (entry p meaningful only when
+// bit p of valid is set — the Selector candidate convention) into the
 // circuit and returns the selected-port mask, for equivalence checking
 // against merge.Tree.Select.
-func (c *Circuit) Evaluate(cands []*isa.Occupancy) (uint32, error) {
+func (c *Circuit) Evaluate(cands []isa.Occupancy, valid uint32) (uint32, error) {
 	if len(cands) != c.ports {
 		return 0, fmt.Errorf("logic: %d candidates for %d ports", len(cands), c.ports)
 	}
 	var in []bool
 	for p := 0; p < c.ports; p++ {
-		in = appendOccupancyBits(in, &c.machine, cands[p])
+		in = appendOccupancyBits(in, &c.machine, &cands[p], valid&(1<<uint(p)) != 0)
 	}
 	out, err := c.Net.Eval(in)
 	if err != nil {
@@ -455,9 +456,8 @@ func (c *Circuit) Evaluate(cands []*isa.Occupancy) (uint32, error) {
 }
 
 // appendOccupancyBits encodes occ in the input order declared by
-// threadInputs.
-func appendOccupancyBits(in []bool, m *isa.Machine, occ *isa.Occupancy) []bool {
-	present := occ != nil
+// threadInputs; present marks the thread as runnable (the valid bit).
+func appendOccupancyBits(in []bool, m *isa.Machine, occ *isa.Occupancy, present bool) []bool {
 	in = append(in, present)
 	therm := func(v, w int) {
 		for k := 1; k <= w; k++ {

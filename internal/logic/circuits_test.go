@@ -56,15 +56,17 @@ func randomOcc(r *rand.Rand, m *isa.Machine) *isa.Occupancy {
 	return &occ
 }
 
-func randomCandSet(r *rand.Rand, m *isa.Machine, ports int) []*isa.Occupancy {
-	cands := make([]*isa.Occupancy, ports)
+func randomCandSet(r *rand.Rand, m *isa.Machine, ports int) ([]isa.Occupancy, uint32) {
+	cands := make([]isa.Occupancy, ports)
+	var valid uint32
 	for p := range cands {
 		if r.Intn(5) == 0 {
 			continue
 		}
-		cands[p] = randomOcc(r, m)
+		cands[p] = *randomOcc(r, m)
+		valid |= 1 << uint(p)
 	}
-	return cands
+	return cands, valid
 }
 
 // TestCircuitMatchesBehaviouralMerge is the central equivalence property:
@@ -81,9 +83,9 @@ func TestCircuitMatchesBehaviouralMerge(t *testing.T) {
 			trials = 100
 		}
 		for i := 0; i < trials; i++ {
-			cands := randomCandSet(r, &m, tree.Ports())
-			want := tree.Select(&m, cands).Mask
-			got, err := c.Evaluate(cands)
+			cands, valid := randomCandSet(r, &m, tree.Ports())
+			want := tree.Select(&m, cands, valid).Mask
+			got, err := c.Evaluate(cands, valid)
 			if err != nil {
 				t.Fatalf("%s: %v", scheme, err)
 			}
@@ -107,9 +109,9 @@ func TestCircuitMatchesBaselineControls(t *testing.T) {
 				t.Fatalf("%s/%d: %v", tree.Name(), n, err)
 			}
 			for i := 0; i < 150; i++ {
-				cands := randomCandSet(r, &m, n)
-				want := tree.Select(&m, cands).Mask
-				got, err := c.Evaluate(cands)
+				cands, valid := randomCandSet(r, &m, n)
+				want := tree.Select(&m, cands, valid).Mask
+				got, err := c.Evaluate(cands, valid)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -252,7 +254,7 @@ func TestSchemeCostOrderings(t *testing.T) {
 
 func TestEvaluateRejectsWrongArity(t *testing.T) {
 	c, _ := buildCircuit(t, "1S")
-	if _, err := c.Evaluate(make([]*isa.Occupancy, 4)); err == nil {
+	if _, err := c.Evaluate(make([]isa.Occupancy, 4), 0); err == nil {
 		t.Error("Evaluate accepted 4 candidates on a 2-port circuit")
 	}
 	if c.Ports() != 2 {
@@ -298,9 +300,9 @@ func TestCircuitEquivalenceOtherMachines(t *testing.T) {
 				t.Fatalf("machine %d scheme %s: %v", mi, scheme, err)
 			}
 			for i := 0; i < 200; i++ {
-				cands := randomCandSet(r, &m, tree.Ports())
-				want := tree.Select(&m, cands).Mask
-				got, err := c.Evaluate(cands)
+				cands, valid := randomCandSet(r, &m, tree.Ports())
+				want := tree.Select(&m, cands, valid).Mask
+				got, err := c.Evaluate(cands, valid)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,299 @@
+package merge
+
+import "vliwmt/internal/isa"
+
+// This file is the merge compilation step of the simulator hot path
+// (DESIGN.md): a Tree is flattened once, at Selector build time, into
+// either a linear fold over its leaves or a post-order instruction
+// array, and selection then runs without recursion, per-cycle interface
+// dispatch through child nodes, or heap allocation.
+//
+// Shape detection is automatic. Left-deep trees — every input after a
+// node's first is a leaf, and the first input chains down to a leaf —
+// cover the paper's dominant shapes (all 3XYZ cascades, the flat
+// parallel C<n>/CSMT nodes, the hybrid parallel-CSMT cascades like 2SC3
+// and 4SC3C3C3) and fold into a per-leaf (port, kind) step list, because
+// the greedy all-or-nothing merge visits their leaves in a fixed order
+// with a fixed merge kind per leaf. Pure-SMT and pure-CSMT folds get
+// specialized loops (the CSMT one tracks the accumulated cluster mask
+// incrementally, so each merge attempt is one AND). Everything else —
+// the balanced 2XY trees, custom trees with interior non-first subtrees
+// — runs on a small stack machine over a preallocated scratch buffer.
+
+// evalKind identifies the specialized evaluator a compiled scheme uses.
+type evalKind uint8
+
+const (
+	evalFoldSMT   evalKind = iota // left-deep, every merge level SMT
+	evalFoldCSMT                  // left-deep, every merge level CSMT
+	evalFoldMixed                 // left-deep, mixed SMT/CSMT levels
+	evalStack                     // general post-order stack program
+)
+
+// foldStep is one leaf visit of a linear fold: join the candidate at
+// port into the accumulator under kind. The kind of the first
+// accumulated step is irrelevant (it becomes the base packet).
+type foldStep struct {
+	port uint8
+	kind Kind
+}
+
+// Stack-program opcodes. Leaves push the port's candidate (or the empty
+// selection); merge opcodes fold the top n entries in input order.
+const (
+	opLeaf uint8 = iota
+	opMergeSMT
+	opMergeCSMT
+)
+
+type cinstr struct {
+	op  uint8
+	arg uint8 // opLeaf: port; opMerge*: input count
+}
+
+// Compiled is a Tree flattened for fast selection. It implements
+// Selector and selects bit-identically to the Tree's recursive reference
+// walk (enforced by the differential tests). The scratch stack makes an
+// instance single-simulator state: build one per run via Scheme.Selector.
+type Compiled struct {
+	tree  *Tree
+	kind  evalKind
+	steps []foldStep  // fold evaluators
+	prog  []cinstr    // evalStack program
+	stack []Selection // evalStack scratch, len = max program depth
+	masks []uint8     // cluster mask per stack entry, same length
+}
+
+// Compile flattens t into its fastest evaluator form. The result selects
+// exactly like t.Select.
+func Compile(t *Tree) *Compiled {
+	c := &Compiled{tree: t}
+	if steps, ok := flattenFold(t.root, nil); ok {
+		c.steps = steps
+		c.kind = evalFoldMixed
+		smt, csmt := true, true
+		for _, s := range steps[1:] {
+			if s.kind == SMT {
+				csmt = false
+			} else {
+				smt = false
+			}
+		}
+		switch {
+		case smt:
+			c.kind = evalFoldSMT
+		case csmt:
+			c.kind = evalFoldCSMT
+		}
+		return c
+	}
+	c.kind = evalStack
+	c.prog, c.stack = compileStack(t.root)
+	c.masks = make([]uint8, len(c.stack))
+	return c
+}
+
+// flattenFold linearizes a left-deep tree into fold steps: node n
+// qualifies when all inputs after the first are leaves and the first
+// input is a leaf or itself qualifies. Leaf j of a qualifying tree is
+// always joined under the kind of the node that owns it, so the greedy
+// recursive selection reduces to one ordered fold over the leaves.
+func flattenFold(n *Node, steps []foldStep) ([]foldStep, bool) {
+	for _, in := range n.Inputs[1:] {
+		if in.Node != nil {
+			return nil, false
+		}
+	}
+	first := n.Inputs[0]
+	if first.Node != nil {
+		var ok bool
+		if steps, ok = flattenFold(first.Node, steps); !ok {
+			return nil, false
+		}
+	} else {
+		steps = append(steps, foldStep{port: uint8(first.Port), kind: n.Kind})
+	}
+	for _, in := range n.Inputs[1:] {
+		steps = append(steps, foldStep{port: uint8(in.Port), kind: n.Kind})
+	}
+	return steps, true
+}
+
+// compileStack emits the post-order program for an arbitrary tree and
+// sizes its scratch stack to the program's maximum depth.
+func compileStack(root *Node) ([]cinstr, []Selection) {
+	var prog []cinstr
+	var emit func(n *Node)
+	emit = func(n *Node) {
+		for _, in := range n.Inputs {
+			if in.Node != nil {
+				emit(in.Node)
+			} else {
+				prog = append(prog, cinstr{op: opLeaf, arg: uint8(in.Port)})
+			}
+		}
+		op := opMergeSMT
+		if n.Kind == CSMT {
+			op = opMergeCSMT
+		}
+		prog = append(prog, cinstr{op: op, arg: uint8(len(n.Inputs))})
+	}
+	emit(root)
+	depth, maxDepth := 0, 0
+	for _, ins := range prog {
+		if ins.op == opLeaf {
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		} else {
+			depth -= int(ins.arg) - 1
+		}
+	}
+	return prog, make([]Selection, maxDepth)
+}
+
+// Name implements Selector.
+func (c *Compiled) Name() string { return c.tree.Name() }
+
+// Ports implements Selector.
+func (c *Compiled) Ports() int { return c.tree.Ports() }
+
+// Tree returns the scheme tree the evaluator was compiled from.
+func (c *Compiled) Tree() *Tree { return c.tree }
+
+// Select implements Selector.
+func (c *Compiled) Select(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
+	switch c.kind {
+	case evalFoldSMT:
+		return c.selectFoldSMT(m, cands, valid)
+	case evalFoldCSMT:
+		return c.selectFoldCSMT(cands, valid)
+	case evalFoldMixed:
+		return c.selectFoldMixed(m, cands, valid)
+	}
+	return c.selectStack(m, cands, valid)
+}
+
+func (c *Compiled) selectFoldSMT(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
+	var acc Selection
+	for i := range c.steps {
+		p := c.steps[i].port
+		if valid&(1<<p) == 0 {
+			continue
+		}
+		if acc.Mask == 0 {
+			acc.Mask = 1 << p
+			acc.Occ = cands[p]
+			continue
+		}
+		if isa.AccumSMT(&acc.Occ, &cands[p], m) {
+			acc.Mask |= 1 << p
+		}
+	}
+	return acc
+}
+
+func (c *Compiled) selectFoldCSMT(cands []isa.Occupancy, valid uint32) Selection {
+	var acc Selection
+	var used uint8
+	for i := range c.steps {
+		p := c.steps[i].port
+		if valid&(1<<p) == 0 {
+			continue
+		}
+		cm := isa.UsedClusters(&cands[p])
+		if acc.Mask == 0 {
+			acc.Mask = 1 << p
+			acc.Occ = cands[p]
+			used = cm
+			continue
+		}
+		if used&cm == 0 {
+			used |= cm
+			acc.Mask |= 1 << p
+			acc.Occ.Accumulate(&cands[p])
+		}
+	}
+	return acc
+}
+
+func (c *Compiled) selectFoldMixed(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
+	var acc Selection
+	var used uint8 // cluster mask of acc, maintained incrementally
+	for i := range c.steps {
+		step := &c.steps[i]
+		p := step.port
+		if valid&(1<<p) == 0 {
+			continue
+		}
+		cand := &cands[p]
+		if acc.Mask == 0 {
+			acc.Mask = 1 << p
+			acc.Occ = *cand
+			used = isa.UsedClusters(cand)
+			continue
+		}
+		if step.kind == CSMT {
+			if cm := isa.UsedClusters(cand); used&cm == 0 {
+				used |= cm
+				acc.Mask |= 1 << p
+				acc.Occ.Accumulate(cand)
+			}
+		} else if isa.AccumSMT(&acc.Occ, cand, m) {
+			acc.Mask |= 1 << p
+			used |= isa.UsedClusters(cand)
+		}
+	}
+	return acc
+}
+
+func (c *Compiled) selectStack(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
+	st := c.stack
+	cm := c.masks // cluster mask per stack entry, maintained incrementally
+	sp := 0
+	for _, ins := range c.prog {
+		if ins.op == opLeaf {
+			p := ins.arg
+			if valid&(1<<p) != 0 {
+				st[sp] = Selection{Mask: 1 << p, Occ: cands[p]}
+				cm[sp] = isa.UsedClusters(&cands[p])
+			} else {
+				st[sp] = Selection{}
+				cm[sp] = 0
+			}
+			sp++
+			continue
+		}
+		base := sp - int(ins.arg)
+		acc := st[base]
+		used := cm[base]
+		for i := base + 1; i < sp; i++ {
+			s := &st[i]
+			if s.Mask == 0 {
+				continue
+			}
+			if acc.Mask == 0 {
+				acc = *s
+				used = cm[i]
+				continue
+			}
+			// Incompatible inputs are dropped whole, as in the
+			// reference walk (VLIW all-or-nothing sub-packets).
+			if ins.op == opMergeCSMT {
+				if used&cm[i] != 0 {
+					continue
+				}
+				acc.Occ.Accumulate(&s.Occ)
+			} else if !isa.AccumSMT(&acc.Occ, &s.Occ, m) {
+				continue
+			}
+			acc.Mask |= s.Mask
+			used |= cm[i]
+		}
+		st[base] = acc
+		cm[base] = used
+		sp = base + 1
+	}
+	return st[0]
+}

@@ -78,13 +78,30 @@ func (s Scheme) WithName(name string) Scheme {
 
 // Selector builds a Selector for ports hardware thread ports.
 // Tree-backed schemes require ports to match the tree (0 accepts the
-// tree's own count); the baselines adapt to any positive width. The
-// returned instance is safe to hand to one simulator: stateful
-// baselines (BMT) get a fresh instance per call, while tree-backed
-// schemes return the shared immutable Tree, whose Select is stateless
-// by construction — a stateful tree selection must not be added
-// without also copying here.
+// tree's own count); the baselines adapt to any positive width. Every
+// call returns a fresh instance, safe to hand to one simulator: the
+// baselines because BMT keeps cross-cycle state, tree-backed schemes
+// because the compiled evaluator (Compile) owns a per-instance scratch
+// buffer. The compiled evaluator selects bit-identically to the tree's
+// recursive reference walk; ReferenceSelector exposes the latter for
+// differential testing.
 func (s Scheme) Selector(ports int) (Selector, error) {
+	sel, err := s.ReferenceSelector(ports)
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := sel.(*Tree); ok {
+		return Compile(t), nil
+	}
+	return sel, nil
+}
+
+// ReferenceSelector builds the naive reference Selector for the scheme:
+// the recursive tree walk for tree-backed schemes, the plain baselines
+// otherwise. It validates exactly like Selector. The refsim oracle and
+// the differential tests use it; production paths should use Selector,
+// which returns the compiled evaluator instead.
+func (s Scheme) ReferenceSelector(ports int) (Selector, error) {
 	switch s.baseline {
 	case "IMT":
 		if ports < 1 {

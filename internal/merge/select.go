@@ -1,6 +1,10 @@
 package merge
 
-import "vliwmt/internal/isa"
+import (
+	"math/bits"
+
+	"vliwmt/internal/isa"
+)
 
 // Selection is the outcome of one merge-stage cycle: which thread ports
 // issue and the occupancy of the merged execution packet.
@@ -13,32 +17,39 @@ type Selection struct {
 func (s Selection) Empty() bool { return s.Mask == 0 }
 
 // Count returns the number of selected ports.
-func (s Selection) Count() int {
-	n := 0
-	for m := s.Mask; m != 0; m &= m - 1 {
-		n++
-	}
-	return n
-}
+func (s Selection) Count() int { return bits.OnesCount32(s.Mask) }
 
 // Has reports whether port p was selected.
 func (s Selection) Has(p int) bool { return s.Mask&(1<<uint(p)) != 0 }
 
 // Selector is the merge-stage policy: given the candidate instruction
-// occupancy at each thread port (nil when the thread is stalled or absent),
-// it picks the set of ports that issue this cycle.
+// occupancy at each thread port, it picks the set of ports that issue
+// this cycle. cands is a value slice indexed by port; entry p is
+// meaningful only when bit p of valid is set (a clear bit means the
+// thread is stalled or absent — the old nil-pointer convention). The
+// value-slice + bitmask form keeps the per-cycle loop free of heap
+// traffic and lets selectors test availability with one bit operation.
 //
-// Implementations may keep state across cycles (e.g. block multithreading),
-// so a Selector instance must not be shared between simulators.
+// Implementations may keep state across cycles (e.g. block
+// multithreading, the compiled evaluator's scratch stack), so a Selector
+// instance must not be shared between simulators. All implementations
+// must be pure on empty input: Select with valid == 0 returns the empty
+// Selection and mutates nothing — the simulator's stall fast-forward
+// relies on this to skip all-stalled cycles without consulting the
+// selector (see DESIGN.md).
 type Selector interface {
 	Name() string
 	Ports() int
-	Select(m *isa.Machine, cands []*isa.Occupancy) Selection
+	Select(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection
 }
 
-// Select implements the greedy priority-ordered merging of the scheme.
-func (t *Tree) Select(m *isa.Machine, cands []*isa.Occupancy) Selection {
-	return t.root.sel(m, cands)
+// Select implements the greedy priority-ordered merging of the scheme by
+// walking the tree recursively. It is the reference implementation: the
+// refsim oracle and the differential tests run it against the compiled
+// evaluator (Compile), which must select identically. Production paths
+// get a *Compiled from Scheme.Selector instead.
+func (t *Tree) Select(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
+	return t.root.sel(m, cands, valid)
 }
 
 func compatible(k Kind, a, b isa.Occupancy, m *isa.Machine) bool {
@@ -48,14 +59,14 @@ func compatible(k Kind, a, b isa.Occupancy, m *isa.Machine) bool {
 	return a.CompatSMT(b, m)
 }
 
-func (n *Node) sel(m *isa.Machine, cands []*isa.Occupancy) Selection {
+func (n *Node) sel(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
 	var acc Selection
 	for _, in := range n.Inputs {
 		var s Selection
 		if in.Node != nil {
-			s = in.Node.sel(m, cands)
-		} else if c := cands[in.Port]; c != nil {
-			s = Selection{Mask: 1 << uint(in.Port), Occ: *c}
+			s = in.Node.sel(m, cands, valid)
+		} else if valid&(1<<uint(in.Port)) != 0 {
+			s = Selection{Mask: 1 << uint(in.Port), Occ: cands[in.Port]}
 		}
 		if s.Empty() {
 			continue
@@ -89,13 +100,12 @@ func (s *IMT) Name() string { return "IMT" }
 func (s *IMT) Ports() int { return s.NumPorts }
 
 // Select implements Selector.
-func (s *IMT) Select(m *isa.Machine, cands []*isa.Occupancy) Selection {
-	for p, c := range cands {
-		if c != nil {
-			return Selection{Mask: 1 << uint(p), Occ: *c}
-		}
+func (s *IMT) Select(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
+	if valid == 0 {
+		return Selection{}
 	}
-	return Selection{}
+	p := uint(bits.TrailingZeros32(valid))
+	return Selection{Mask: 1 << p, Occ: cands[p]}
 }
 
 // BMT is the block multithreading baseline: the current thread keeps
@@ -113,15 +123,15 @@ func (s *BMT) Name() string { return "BMT" }
 func (s *BMT) Ports() int { return s.NumPorts }
 
 // Select implements Selector.
-func (s *BMT) Select(m *isa.Machine, cands []*isa.Occupancy) Selection {
-	if s.current < len(cands) && cands[s.current] != nil {
-		return Selection{Mask: 1 << uint(s.current), Occ: *cands[s.current]}
+func (s *BMT) Select(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
+	if s.current < len(cands) && valid&(1<<uint(s.current)) != 0 {
+		return Selection{Mask: 1 << uint(s.current), Occ: cands[s.current]}
 	}
 	for i := 1; i <= len(cands); i++ {
 		p := (s.current + i) % len(cands)
-		if cands[p] != nil {
+		if valid&(1<<uint(p)) != 0 {
 			s.current = p
-			return Selection{Mask: 1 << uint(p), Occ: *cands[p]}
+			return Selection{Mask: 1 << uint(p), Occ: cands[p]}
 		}
 	}
 	return Selection{}

@@ -38,11 +38,40 @@ func mustParse(t *testing.T, name string, ports int) *Tree {
 	return tree
 }
 
+// pack converts the pointer-slice candidate convention the tests build
+// into the value-slice + valid-bitmask form of the Selector interface.
+func pack(cands []*isa.Occupancy) ([]isa.Occupancy, uint32) {
+	vals := make([]isa.Occupancy, len(cands))
+	var valid uint32
+	for p, c := range cands {
+		if c != nil {
+			vals[p] = *c
+			valid |= 1 << uint(p)
+		}
+	}
+	return vals, valid
+}
+
+// treeSelect runs both the recursive reference walk and the compiled
+// evaluator on cands and fails the test when they disagree, so every
+// tree selection in this suite doubles as a compiled-vs-reference
+// differential check.
+func treeSelect(t testing.TB, tree *Tree, m *isa.Machine, cands []*isa.Occupancy) Selection {
+	t.Helper()
+	vals, valid := pack(cands)
+	ref := tree.Select(m, vals, valid)
+	fast := Compile(tree).Select(m, vals, valid)
+	if ref != fast {
+		t.Fatalf("%s: compiled selection %+v != reference %+v", tree.Name(), fast, ref)
+	}
+	return ref
+}
+
 func TestCascadeCSMTSelectsDisjoint(t *testing.T) {
 	m := isa.Default()
 	tree := mustParse(t, "3CCC", 4)
 	cands := []*isa.Occupancy{occOn(0), occOn(1), occOn(2), occOn(3)}
-	s := tree.Select(&m, cands)
+	s := treeSelect(t, tree, &m, cands)
 	if s.Mask != 0b1111 {
 		t.Errorf("disjoint threads: mask = %04b, want 1111", s.Mask)
 	}
@@ -56,7 +85,7 @@ func TestCascadeCSMTDropsConflicting(t *testing.T) {
 	tree := mustParse(t, "3CCC", 4)
 	// T1 conflicts with T0 on cluster 0; T2 and T3 are disjoint.
 	cands := []*isa.Occupancy{occOn(0), occOn(0), occOn(1), occOn(2)}
-	s := tree.Select(&m, cands)
+	s := treeSelect(t, tree, &m, cands)
 	if s.Mask != 0b1101 {
 		t.Errorf("mask = %04b, want 1101", s.Mask)
 	}
@@ -66,7 +95,7 @@ func TestCSMTCannotMergeSharedCluster(t *testing.T) {
 	m := isa.Default()
 	tree := mustParse(t, "1C", 2)
 	cands := []*isa.Occupancy{occOn(0, 1), occOn(1, 2)}
-	s := tree.Select(&m, cands)
+	s := treeSelect(t, tree, &m, cands)
 	if s.Mask != 0b01 {
 		t.Errorf("mask = %02b, want 01 (priority thread only)", s.Mask)
 	}
@@ -76,7 +105,7 @@ func TestSMTMergesSharedClusterWhenFits(t *testing.T) {
 	m := isa.Default()
 	tree := mustParse(t, "1S", 2)
 	cands := []*isa.Occupancy{occOn(0, 1), occOn(1, 2)}
-	s := tree.Select(&m, cands)
+	s := treeSelect(t, tree, &m, cands)
 	if s.Mask != 0b11 {
 		t.Errorf("mask = %02b, want 11", s.Mask)
 	}
@@ -99,12 +128,12 @@ func TestBalancedAtomicity(t *testing.T) {
 		occOn(0), // T3: conflicts with T0, merges with T2
 	}
 	// Balanced: group2 = {T2,T3} (clusters 1 and 0) conflicts with T0.
-	s := balanced.Select(&m, cands)
+	s := treeSelect(t, balanced, &m, cands)
 	if s.Mask != 0b0001 {
 		t.Errorf("balanced mask = %04b, want 0001", s.Mask)
 	}
 	// Serial cascade: T0+T2 merge, then T3 is rejected individually.
-	s = serial.Select(&m, cands)
+	s = treeSelect(t, serial, &m, cands)
 	if s.Mask != 0b0101 {
 		t.Errorf("serial mask = %04b, want 0101", s.Mask)
 	}
@@ -118,12 +147,12 @@ func Test2SCRestriction(t *testing.T) {
 	// Four sparse threads all over the clusters: pairwise SMT merging
 	// succeeds inside each group, but both groups then span all clusters.
 	cands := []*isa.Occupancy{occOn(0, 1), occOn(2, 3), occOn(0, 2), occOn(1, 3)}
-	s := tree.Select(&m, cands)
+	s := treeSelect(t, tree, &m, cands)
 	if s.Mask != 0b0011 {
 		t.Errorf("2SC mask = %04b, want 0011 (first SMT group only)", s.Mask)
 	}
 	// 3SSS merges all four.
-	if s := mustParse(t, "3SSS", 4).Select(&m, cands); s.Mask != 0b1111 {
+	if s := treeSelect(t, mustParse(t, "3SSS", 4), &m, cands); s.Mask != 0b1111 {
 		t.Errorf("3SSS mask = %04b, want 1111", s.Mask)
 	}
 }
@@ -133,13 +162,13 @@ func TestEmptyAndSingleCandidate(t *testing.T) {
 	for _, name := range PaperSchemes4() {
 		tree := mustParse(t, name, PortsFor(name))
 		cands := make([]*isa.Occupancy, tree.Ports())
-		if s := tree.Select(&m, cands); !s.Empty() {
+		if s := treeSelect(t, tree, &m, cands); !s.Empty() {
 			t.Errorf("%s: selection from no candidates = %v", name, s)
 		}
 		for p := 0; p < tree.Ports(); p++ {
 			cands := make([]*isa.Occupancy, tree.Ports())
 			cands[p] = occOn(2)
-			s := tree.Select(&m, cands)
+			s := treeSelect(t, tree, &m, cands)
 			if s.Mask != 1<<uint(p) {
 				t.Errorf("%s: single candidate at port %d gave mask %04b", name, p, s.Mask)
 			}
@@ -163,7 +192,7 @@ func TestHighestPriorityAlwaysIssues(t *testing.T) {
 					break
 				}
 			}
-			s := tree.Select(&m, cands)
+			s := treeSelect(t, tree, &m, cands)
 			if first == -1 {
 				if !s.Empty() {
 					t.Fatalf("%s: selected from empty candidates", name)
@@ -217,8 +246,8 @@ func TestFunctionalEquivalences(t *testing.T) {
 		b := mustParse(t, pair[1], 4)
 		for trial := 0; trial < 2000; trial++ {
 			cands := randomCands(r, &m, 4)
-			sa := a.Select(&m, cands)
-			sb := b.Select(&m, cands)
+			sa := treeSelect(t, a, &m, cands)
+			sb := treeSelect(t, b, &m, cands)
 			if sa.Mask != sb.Mask {
 				t.Fatalf("%s vs %s: mask %04b != %04b for %v", pair[0], pair[1], sa.Mask, sb.Mask, cands)
 			}
@@ -239,7 +268,7 @@ func TestSelectionInvariants(t *testing.T) {
 		tree := mustParse(t, name, PortsFor(name))
 		for trial := 0; trial < 500; trial++ {
 			cands := randomCands(r, &m, tree.Ports())
-			s := tree.Select(&m, cands)
+			s := treeSelect(t, tree, &m, cands)
 			var union isa.Occupancy
 			for p := 0; p < tree.Ports(); p++ {
 				if !s.Has(p) {
@@ -269,8 +298,8 @@ func TestSMTSupersetOfCSMTPairwise(t *testing.T) {
 	csmt := mustParse(t, "1C", 2)
 	for trial := 0; trial < 2000; trial++ {
 		cands := randomCands(r, &m, 2)
-		a := smt.Select(&m, cands)
-		b := csmt.Select(&m, cands)
+		a := treeSelect(t, smt, &m, cands)
+		b := treeSelect(t, csmt, &m, cands)
 		if b.Mask&^a.Mask != 0 {
 			t.Fatalf("CSMT selected ports SMT did not: %04b vs %04b", b.Mask, a.Mask)
 		}
@@ -280,12 +309,12 @@ func TestSMTSupersetOfCSMTPairwise(t *testing.T) {
 func TestIMTSelectsExactlyOne(t *testing.T) {
 	m := isa.Default()
 	imt := &IMT{NumPorts: 4}
-	cands := []*isa.Occupancy{nil, occOn(1), occOn(2), nil}
-	s := imt.Select(&m, cands)
+	vals, valid := pack([]*isa.Occupancy{nil, occOn(1), occOn(2), nil})
+	s := imt.Select(&m, vals, valid)
 	if s.Mask != 0b0010 {
 		t.Errorf("IMT mask = %04b, want 0010", s.Mask)
 	}
-	if s := imt.Select(&m, make([]*isa.Occupancy, 4)); !s.Empty() {
+	if s := imt.Select(&m, make([]isa.Occupancy, 4), 0); !s.Empty() {
 		t.Error("IMT selected from no candidates")
 	}
 	if imt.Name() != "IMT" || imt.Ports() != 4 {
@@ -297,25 +326,29 @@ func TestBMTSticksUntilBlocked(t *testing.T) {
 	m := isa.Default()
 	bmt := &BMT{NumPorts: 3}
 	cands := []*isa.Occupancy{occOn(0), occOn(1), occOn(2)}
-	if s := bmt.Select(&m, cands); s.Mask != 0b001 {
+	sel := func() Selection {
+		vals, valid := pack(cands)
+		return bmt.Select(&m, vals, valid)
+	}
+	if s := sel(); s.Mask != 0b001 {
 		t.Fatalf("BMT first pick = %03b, want 001", s.Mask)
 	}
 	// Still runnable: stick with thread 0.
-	if s := bmt.Select(&m, cands); s.Mask != 0b001 {
+	if s := sel(); s.Mask != 0b001 {
 		t.Errorf("BMT did not stick with running thread")
 	}
 	// Thread 0 blocks: switch to next runnable (thread 1).
 	cands[0] = nil
-	if s := bmt.Select(&m, cands); s.Mask != 0b010 {
+	if s := sel(); s.Mask != 0b010 {
 		t.Errorf("BMT did not switch on block")
 	}
 	// Thread 0 wakes up, but BMT stays on thread 1 until it blocks.
 	cands[0] = occOn(0)
-	if s := bmt.Select(&m, cands); s.Mask != 0b010 {
+	if s := sel(); s.Mask != 0b010 {
 		t.Errorf("BMT switched away from a runnable thread")
 	}
 	cands[1] = nil
-	if s := bmt.Select(&m, cands); s.Mask != 0b100 {
+	if s := sel(); s.Mask != 0b100 {
 		t.Errorf("BMT wrap-around pick = wrong; want thread 2")
 	}
 }

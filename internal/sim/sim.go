@@ -166,6 +166,94 @@ func (r *rng) next() uint64 {
 
 func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 
+// core is the per-run simulator state: every slice and scalar the cycle
+// loop touches lives here, allocated once at Run entry so the loop
+// itself never allocates (see DESIGN.md; TestSteadyStateZeroAllocs
+// enforces it). The hot loop is structured in three layers — candidate
+// gathering, merge selection through a compiled evaluator, retirement —
+// plus a stall fast-forward that jumps over spans in which every context
+// is stalled.
+type core struct {
+	cfg    Config
+	m      isa.Machine
+	sel    merge.Selector
+	ic, dc *cache.Cache
+	states []*taskState
+	// running maps hardware contexts to task indices (-1 = idle).
+	running []int
+	pool    []int // descheduled, not done
+	osRng   rng
+	// cands/ports are the per-cycle buffers, reused across every cycle
+	// and timeslice of the run: cands[p] is the candidate occupancy at
+	// merge port p (meaningful only when bit p of the cycle's valid mask
+	// is set) and ports[p] is the context mapped to port p under the
+	// cycle's priority rotation.
+	cands []isa.Occupancy
+	ports []int
+	res   *Result
+}
+
+// schedule returns running tasks to the pool, then draws random
+// replacements (the paper picks replacement threads at random for
+// fairness).
+//
+// The pool delete deliberately stays the order-preserving O(n)
+// copy-down, not an O(1) swap-remove: the drawn index k comes from the
+// OS RNG, so which *task* a draw selects depends on the pool's element
+// order. Swap-remove would permute that order, pick different
+// replacement threads for the same seed, and break both bit-identical
+// reproducibility across versions and the refsim differential oracle.
+// The pool holds at most len(tasks) entries and schedule runs once per
+// 1M-cycle timeslice, so the O(n) delete is irrelevant to throughput.
+func (c *core) schedule() {
+	for ctx, ti := range c.running {
+		if ti >= 0 && !c.states[ti].done {
+			c.pool = append(c.pool, ti)
+		}
+		c.running[ctx] = -1
+	}
+	for ctx := 0; ctx < c.cfg.Contexts && len(c.pool) > 0; ctx++ {
+		k := c.osRng.intn(len(c.pool))
+		c.running[ctx] = c.pool[k]
+		c.pool = append(c.pool[:k], c.pool[k+1:]...)
+	}
+}
+
+// nextEvent returns the earliest cycle after now at which a candidate
+// can reappear: the soonest readyAt among running threads (a thread
+// whose stall already elapsed counts as now+1), the next timeslice
+// boundary when descheduled tasks exist, or MaxCycles. Between now and
+// that cycle every context stays candidate-free, so the run's state
+// cannot change — the fast-forward invariant DESIGN.md spells out.
+func (c *core) nextEvent(now int64) int64 {
+	next := c.cfg.MaxCycles
+	if len(c.states) > c.cfg.Contexts {
+		if nb := (now/c.cfg.TimesliceCycles + 1) * c.cfg.TimesliceCycles; nb < next {
+			next = nb
+		}
+	}
+	for _, ti := range c.running {
+		if ti < 0 {
+			continue
+		}
+		st := c.states[ti]
+		if st.done {
+			continue
+		}
+		e := st.readyAt
+		if e <= now {
+			e = now + 1
+		}
+		if e < next {
+			next = e
+		}
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
 // Run simulates tasks on the configured processor.
 func Run(cfg Config, tasks []Task) (*Result, error) {
 	if err := cfg.Machine.Validate(); err != nil {
@@ -230,146 +318,234 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 		}
 	}
 
-	osRng := rng{s: cfg.Seed ^ 0xd1b54a32d192ed03}
-	if osRng.s == 0 {
-		osRng.s = 1
+	c := &core{
+		cfg:     cfg,
+		m:       m,
+		sel:     sel,
+		ic:      ic,
+		dc:      dc,
+		states:  states,
+		running: make([]int, cfg.Contexts),
+		pool:    make([]int, 0, len(tasks)),
+		osRng:   rng{s: cfg.Seed ^ 0xd1b54a32d192ed03},
+		cands:   make([]isa.Occupancy, cfg.Contexts),
+		ports:   make([]int, cfg.Contexts),
+		res: &Result{
+			MergeHist:  make([]int64, cfg.Contexts+1),
+			IssueWidth: m.TotalIssueWidth(),
+		},
 	}
-
-	// running maps hardware contexts to task indices (-1 = idle).
-	running := make([]int, cfg.Contexts)
-	pool := make([]int, 0, len(tasks)) // descheduled, not done
+	if c.osRng.s == 0 {
+		c.osRng.s = 1
+	}
 	for i := range tasks {
-		pool = append(pool, i)
+		c.pool = append(c.pool, i)
 	}
-	for i := range running {
-		running[i] = -1
+	for i := range c.running {
+		c.running[i] = -1
 	}
-	schedule := func() {
-		// Return running tasks to the pool, then draw random replacements
-		// (the paper picks replacement threads at random for fairness).
-		for c, ti := range running {
-			if ti >= 0 && !states[ti].done {
-				pool = append(pool, ti)
-			}
-			running[c] = -1
-		}
-		for c := 0; c < cfg.Contexts && len(pool) > 0; c++ {
-			k := osRng.intn(len(pool))
-			running[c] = pool[k]
-			pool = append(pool[:k], pool[k+1:]...)
-		}
-	}
-	schedule()
+	c.schedule()
+	return c.run()
+}
 
-	res := &Result{
-		MergeHist:  make([]int64, cfg.Contexts+1),
-		IssueWidth: m.TotalIssueWidth(),
+// retireOne retires the current instruction of st at cycle, updating
+// run totals and the thread's stall clock, and reports whether the
+// thread hit its instruction budget (ending the run).
+func (c *core) retireOne(st *taskState, cycle int64) bool {
+	info := st.walker.Retire()
+	st.fetched = false
+	st.stats.Instrs++
+	st.stats.Ops += int64(info.Ops)
+	c.res.Instrs++
+	c.res.Ops += int64(info.Ops)
+
+	var memStall, brStall int64
+	for _, acc := range info.Mem {
+		if c.dc != nil && !c.dc.Access(acc.Addr, acc.Store) {
+			memStall += int64(c.dc.MissPenalty())
+		}
 	}
-	cands := make([]*isa.Occupancy, cfg.Contexts)
-	ports := make([]int, cfg.Contexts) // port -> context mapping
+	if info.Taken {
+		brStall = int64(c.m.BranchPenalty)
+	}
+	// Both a blocking miss and a squash stall the front end; they
+	// overlap, so the thread resumes after the longer of the two.
+	stall := memStall
+	if brStall > stall {
+		stall = brStall
+	}
+	if stall > 0 {
+		st.readyAt = cycle + 1 + stall
+		st.stats.StallMem += memStall
+		st.stats.StallBranch += brStall
+	}
+	return st.walker.Retired >= c.cfg.InstrLimit
+}
+
+// finalize closes the run after the loop exited at cycle.
+func (c *core) finalize(cycle int64, finished bool) *Result {
+	res := c.res
+	res.Cycles = cycle
+	res.TimedOut = !finished
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Ops) / float64(res.Cycles)
+	}
+	for _, st := range c.states {
+		res.Threads = append(res.Threads, st.stats)
+	}
+	if c.ic != nil {
+		res.ICache = c.ic.Stats
+	}
+	if c.dc != nil {
+		res.DCache = c.dc.Stats
+	}
+	return res
+}
+
+// runSingle is the single-context cycle loop: with one hardware context
+// there is no merge stage (the selector is the trivial one-port IMT, so
+// a runnable thread always issues alone), and the loop reduces to
+// fetch, retire and stall fast-forward. It must stay bit-identical to
+// the generic loop — and therefore to the refsim oracle — for
+// Contexts == 1; the differential tests cover it.
+func (c *core) runSingle() (*Result, error) {
+	cfg, res := c.cfg, c.res
+	slicing := len(c.states) > 1
 	finished := false
 
 	var cycle int64
 	for cycle = 0; cycle < cfg.MaxCycles && !finished; cycle++ {
-		if cycle > 0 && cycle%cfg.TimesliceCycles == 0 && len(tasks) > cfg.Contexts {
-			schedule()
+		if slicing && cycle > 0 && cycle%cfg.TimesliceCycles == 0 {
+			c.schedule()
+		}
+		var st *taskState
+		ready := false
+		if ti := c.running[0]; ti >= 0 {
+			st = c.states[ti]
+			ready = !st.done && st.readyAt <= cycle
+		}
+		if ready && !st.fetched {
+			_, addr := st.walker.Current()
+			st.fetched = true // the line arrives during any stall
+			if c.ic != nil && !c.ic.Access(addr, false) {
+				pen := int64(c.ic.MissPenalty())
+				st.readyAt = cycle + pen
+				st.stats.StallFetch += pen
+				ready = false
+			}
+		}
+		if !ready {
+			// Stall fast-forward, as in the generic loop.
+			span := c.nextEvent(cycle) - cycle
+			res.MergeHist[0] += span
+			res.EmptyCycles += span
+			cycle += span - 1
+			continue
+		}
+		in, _ := st.walker.Current()
+		res.MergeHist[1]++
+		if in.Occ.Ops == 0 {
+			res.EmptyCycles++
+		}
+		st.stats.ScheduledCycles++
+		if c.retireOne(st, cycle) {
+			st.done = true
+			finished = true
+		}
+	}
+	return c.finalize(cycle, finished), nil
+}
+
+// run is the optimized cycle loop. It must stay bit-identical to the
+// naive reference loop in internal/refsim — the invariants that make
+// the shortcuts sound are spelled out in DESIGN.md, and the refsim
+// differential tests enforce the equivalence.
+func (c *core) run() (*Result, error) {
+	if c.cfg.Contexts == 1 {
+		return c.runSingle()
+	}
+	cfg, res := c.cfg, c.res
+	m := &c.m
+	nCtx := cfg.Contexts
+	slicing := len(c.states) > nCtx
+	finished := false
+
+	var cycle int64
+	for cycle = 0; cycle < cfg.MaxCycles && !finished; cycle++ {
+		if slicing && cycle > 0 && cycle%cfg.TimesliceCycles == 0 {
+			c.schedule()
 		}
 		// Priority rotation: the thread-to-port mapping advances each
 		// cycle so every thread takes every position in the merge tree.
 		rot := 0
 		if !cfg.FixedPriority {
-			rot = int(cycle % int64(cfg.Contexts))
+			rot = int(cycle % int64(nCtx))
 		}
-		for p := 0; p < cfg.Contexts; p++ {
-			ctx := (p + rot) % cfg.Contexts
-			ports[p] = ctx
-			cands[p] = nil
-			ti := running[ctx]
+		var valid uint32
+		for p := 0; p < nCtx; p++ {
+			ctx := p + rot
+			if ctx >= nCtx {
+				ctx -= nCtx
+			}
+			c.ports[p] = ctx
+			ti := c.running[ctx]
 			if ti < 0 {
 				continue
 			}
-			st := states[ti]
+			st := c.states[ti]
 			if st.done || st.readyAt > cycle {
 				continue
 			}
 			if !st.fetched {
 				_, addr := st.walker.Current()
 				st.fetched = true // the line arrives during any stall
-				if ic != nil && !ic.Access(addr, false) {
-					pen := int64(ic.MissPenalty())
+				if c.ic != nil && !c.ic.Access(addr, false) {
+					pen := int64(c.ic.MissPenalty())
 					st.readyAt = cycle + pen
 					st.stats.StallFetch += pen
 					continue
 				}
 			}
 			in, _ := st.walker.Current()
-			cands[p] = &in.Occ
+			c.cands[p] = in.Occ
+			valid |= 1 << uint(p)
 		}
 
-		selection := sel.Select(&m, cands)
+		if valid == 0 {
+			// Stall fast-forward: every context is stalled, idle or
+			// descheduled, so cycles from here to the next event (thread
+			// wake-up, timeslice boundary, MaxCycles) are all empty. Jump
+			// there directly, bulk-accounting the skipped span. Selectors
+			// are pure on empty input (Selector contract), so skipping
+			// their Select calls cannot change later selections.
+			span := c.nextEvent(cycle) - cycle
+			res.MergeHist[0] += span
+			res.EmptyCycles += span
+			cycle += span - 1
+			continue
+		}
+
+		selection := c.sel.Select(m, c.cands, valid)
 		res.MergeHist[selection.Count()]++
 		if selection.Occ.Ops == 0 {
 			res.EmptyCycles++
 		}
 
-		for p := 0; p < cfg.Contexts; p++ {
-			if cands[p] == nil {
+		for p := 0; p < nCtx; p++ {
+			if valid&(1<<uint(p)) == 0 {
 				continue
 			}
-			ti := running[ports[p]]
-			st := states[ti]
+			st := c.states[c.running[c.ports[p]]]
 			st.stats.ScheduledCycles++
-			if !selection.Has(p) {
+			if selection.Mask&(1<<uint(p)) == 0 {
 				st.stats.ConflictCycles++
 				continue
 			}
-			info := st.walker.Retire()
-			st.fetched = false
-			st.stats.Instrs++
-			st.stats.Ops += int64(info.Ops)
-			res.Instrs++
-			res.Ops += int64(info.Ops)
-
-			var memStall, brStall int64
-			for _, acc := range info.Mem {
-				if dc != nil && !dc.Access(acc.Addr, acc.Store) {
-					memStall += int64(dc.MissPenalty())
-				}
-			}
-			if info.Taken {
-				brStall = int64(m.BranchPenalty)
-			}
-			// Both a blocking miss and a squash stall the front end; they
-			// overlap, so the thread resumes after the longer of the two.
-			stall := memStall
-			if brStall > stall {
-				stall = brStall
-			}
-			if stall > 0 {
-				st.readyAt = cycle + 1 + stall
-				st.stats.StallMem += memStall
-				st.stats.StallBranch += brStall
-			}
-			if st.walker.Retired >= cfg.InstrLimit {
+			if c.retireOne(st, cycle) {
 				st.done = true
 				finished = true
 			}
 		}
 	}
-
-	res.Cycles = cycle
-	res.TimedOut = !finished
-	if res.Cycles > 0 {
-		res.IPC = float64(res.Ops) / float64(res.Cycles)
-	}
-	for _, st := range states {
-		res.Threads = append(res.Threads, st.stats)
-	}
-	if ic != nil {
-		res.ICache = ic.Stats
-	}
-	if dc != nil {
-		res.DCache = dc.Stats
-	}
-	return res, nil
+	return c.finalize(cycle, finished), nil
 }

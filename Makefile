@@ -7,12 +7,26 @@
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-SIMCORE_BENCHES = BenchmarkTable1$$|BenchmarkSimulator$$|BenchmarkStallHeavy$$|BenchmarkStallHeavyRef$$|BenchmarkMergeSelect$$|BenchmarkMergeSelectRef$$
+SIMCORE_BENCHES = BenchmarkTable1$$|BenchmarkSimulator$$|BenchmarkStallHeavy$$|BenchmarkStallHeavyRef$$|BenchmarkMergeSelect$$|BenchmarkMergeSelectRef$$|BenchmarkStoreColdSweep$$|BenchmarkStoreWarmSweep$$
 
-.PHONY: test bench-simcore bench-simcore-ci
+.PHONY: test golden golden-check bench-simcore bench-simcore-ci
 
 test:
 	go build ./... && go test ./...
+
+# golden regenerates the committed golden conformance corpus
+# (testdata/golden/corpus.json) from the current simulator — the
+# "bless" step after an intentional behaviour change. Review the diff
+# before committing: every changed metric is a deliberate claim that
+# the new numbers are right. TestGoldenCorpus replays the committed
+# corpus on every `go test ./...`.
+golden:
+	go run ./cmd/vliwgolden
+
+# golden-check re-runs the committed corpus and fails on any bit-level
+# divergence (the standalone spelling of TestGoldenCorpus).
+golden-check:
+	go run ./cmd/vliwgolden -check
 
 # bench-simcore runs the simulator-core benchmarks at measurement
 # quality and rewrites BENCH_simcore.json, the committed machine-readable

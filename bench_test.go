@@ -183,6 +183,69 @@ func BenchmarkSweepGrid(b *testing.B) { benchSweep(b, 0) }
 // serial baseline the worker pool is measured against.
 func BenchmarkSweepGridSerial(b *testing.B) { benchSweep(b, 1) }
 
+// storeBenchGrid is the grid both result-store benches sweep: the
+// paper's sixteen schemes over two mixes (32 jobs) at a scaled-down
+// budget.
+func storeBenchGrid() vliwmt.Grid {
+	return vliwmt.Grid{Mixes: []string{"LLHH", "HHHH"}, InstrLimit: 10_000, Seed: 1}
+}
+
+// BenchmarkStoreColdSweep measures a sweep into an empty result store:
+// every job simulates and persists, so the delta against
+// BenchmarkSweepGrid is the store's write-path overhead. Each
+// iteration gets a fresh directory (a fresh Runner with an empty
+// compile cache, too, so cold means cold).
+func BenchmarkStoreColdSweep(b *testing.B) {
+	grid := storeBenchGrid()
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		r := vliwmt.NewRunner(vliwmt.WithResultStore(b.TempDir()))
+		results, err := r.Sweep(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(results)
+		if st := r.Store().Stats(); st.Hits != 0 {
+			b.Fatalf("cold sweep hit the store: %+v", st)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
+// BenchmarkStoreWarmSweep measures the same sweep served entirely from
+// a warm store: zero compiles, zero simulations, pure disk reads. The
+// ratio to BenchmarkStoreColdSweep is the cache's speedup on repeated
+// experiments (and its jobs/s is the replay ceiling of a conformance
+// run over a committed corpus).
+func BenchmarkStoreWarmSweep(b *testing.B) {
+	grid := storeBenchGrid()
+	dir := b.TempDir()
+	warm := vliwmt.NewRunner(vliwmt.WithResultStore(dir))
+	if _, err := warm.Sweep(context.Background(), grid); err != nil {
+		b.Fatal(err)
+	}
+	jobs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := vliwmt.NewRunner(vliwmt.WithResultStore(dir))
+		results, err := r.Sweep(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(results)
+		if st := r.Store().Stats(); st.Misses != 0 {
+			b.Fatalf("warm sweep missed the store: %+v", st)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
 // BenchmarkRunnerReuse quantifies the Runner session's shared-compile-
 // cache win: repeated RunMix calls on one long-lived Runner (kernels
 // compiled once, every later call served from the cache) against the

@@ -1,0 +1,138 @@
+// Command vliwgolden maintains the committed golden conformance
+// corpus: a snapshot of deterministic simulation results covering the
+// paper's sixteen merge schemes plus the IMT/BMT baselines, each under
+// both memory models (real caches and perfect memory).
+//
+//	vliwgolden                     # regenerate testdata/golden/corpus.json
+//	vliwgolden -check              # re-run the corpus and diff against it
+//	vliwgolden -out other.json     # write a corpus elsewhere
+//
+// Regenerating writes deterministic bytes: the same simulator always
+// produces the same file, so `git diff testdata/golden` after a code
+// change answers "did this change simulator output?" metric by metric.
+// The committed corpus is also replayed by the tier-1 test suite
+// (TestGoldenCorpus) and diffable against any result store or live run
+// with vliwdiff.
+//
+// Blessing a new baseline after an intentional behaviour change:
+//
+//	go run ./cmd/vliwgolden        # or: make golden
+//	git diff testdata/golden       # review every metric that moved
+//	git add testdata/golden && git commit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vliwmt"
+)
+
+// corpusJobs is the golden job set: every paper scheme plus the
+// IMT/BMT baselines, crossed with both memory models, on the paper's
+// default machine over one mixed workload. The budget is scaled down
+// so the whole corpus replays in seconds while still exercising every
+// merge control, the OS scheduler and both cache configurations.
+func corpusJobs(instr int64, seed uint64) ([]vliwmt.SweepJob, error) {
+	var members []string
+	for _, m := range vliwmt.Mixes() {
+		if m.Name == "LLHH" {
+			members = m.Members[:]
+		}
+	}
+	if members == nil {
+		return nil, fmt.Errorf("mix LLHH not found")
+	}
+	schemes := append(vliwmt.Schemes(), "IMT", "BMT")
+	var jobs []vliwmt.SweepJob
+	for _, scheme := range schemes {
+		for _, perfect := range []bool{false, true} {
+			mem := "real"
+			if perfect {
+				mem = "perfect"
+			}
+			jobs = append(jobs, vliwmt.SweepJob{
+				Label:           "LLHH/" + scheme + "/" + mem,
+				Scheme:          scheme,
+				Benchmarks:      append([]string(nil), members...),
+				Machine:         vliwmt.DefaultMachine(),
+				ICache:          vliwmt.DefaultCache(),
+				DCache:          vliwmt.DefaultCache(),
+				PerfectMemory:   perfect,
+				InstrLimit:      instr,
+				TimesliceCycles: 1_000,
+				Seed:            seed,
+			})
+		}
+	}
+	return jobs, nil
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "testdata/golden/corpus.json", "corpus snapshot path")
+		instr   = flag.Int64("instr", 20_000, "per-thread instruction budget of the corpus jobs")
+		seed    = flag.Uint64("seed", 1, "seed shared by every corpus job")
+		workers = flag.Int("workers", 0, "worker pool size (0: runtime.NumCPU())")
+		check   = flag.Bool("check", false, "re-run the committed corpus and fail on any divergence instead of rewriting it")
+	)
+	flag.Parse()
+
+	if *check {
+		golden, err := vliwmt.LoadSnapshot(*out)
+		if err != nil {
+			return err
+		}
+		// Replay exactly the committed jobs (not the generator's current
+		// defaults), so -check stays meaningful even if the corpus was
+		// built with non-default flags.
+		jobs, err := golden.Jobs()
+		if err != nil {
+			return err
+		}
+		results, err := vliwmt.SweepJobs(context.Background(), jobs, &vliwmt.SweepOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
+		live, err := vliwmt.SnapshotResults(results)
+		if err != nil {
+			return err
+		}
+		d := vliwmt.DiffSnapshots(golden, live)
+		if !d.Clean() {
+			d.WriteText(os.Stderr, *out, "this build")
+			return fmt.Errorf("simulator output diverges from the golden corpus (bless intentional changes with `make golden`)")
+		}
+		fmt.Printf("golden corpus %s: %d jobs bit-identical\n", *out, d.Identical)
+		return nil
+	}
+
+	jobs, err := corpusJobs(*instr, *seed)
+	if err != nil {
+		return err
+	}
+	results, err := vliwmt.SweepJobs(context.Background(), jobs, &vliwmt.SweepOptions{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	snap, err := vliwmt.SnapshotResults(results)
+	if err != nil {
+		return err
+	}
+	if err := vliwmt.WriteSnapshot(*out, snap); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d jobs (%d schemes x 2 memory models)\n", *out, len(snap.Entries), len(snap.Entries)/2)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vliwgolden: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@
 //	vliwsweep -schemes '2SC3,S(C(T0,T1,T2),T3)' -mixes LLHH  # custom tree
 //	vliwsweep -workers 8 -instr 1000000 -seed 3 -format json
 //	vliwsweep -sharedseed -progress
+//	vliwsweep -store results/ -mixes LLHH      # persistent result store
 //	vliwsweep -addr localhost:8080 -mixes LLHH # same grid, remote vliwserve
 //
 // Every job derives its seed from -seed and its index, so output is
@@ -20,12 +21,21 @@
 // instead of the in-process engine; the determinism contract crosses
 // the wire, so the output is identical modulo the wall-clock fields
 // (elapsed_sec / time).
+//
+// With -store, completed jobs persist in a content-addressed store at
+// the given directory and later sweeps serve identical jobs from disk
+// instead of re-simulating them — a repeated sweep against a warm
+// store performs zero simulations and emits byte-identical output
+// (cached results replay the original elapsed times). The store is
+// diffable against another store or a committed baseline with
+// vliwdiff.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"vliwmt"
+	"vliwmt/internal/merge"
 	"vliwmt/internal/profiling"
 	"vliwmt/internal/report"
 	"vliwmt/internal/sweep"
@@ -52,32 +63,47 @@ type row struct {
 	ElapsedSec float64 `json:"elapsed_sec"`
 }
 
-// split breaks a comma-separated list, leaving commas inside
-// parentheses alone so tree expressions like C(S(T0,T1),T2,T3) stay
-// whole in -schemes.
-func split(s string) []string {
-	var parts []string
-	depth, start := 0, 0
-	emit := func(end int) {
-		if p := strings.TrimSpace(s[start:end]); p != "" {
-			parts = append(parts, p)
+// rowsFrom flattens successful results into output rows, reporting
+// failed or timed-out jobs through warn. Cached results flatten
+// exactly like fresh ones (the store replays the original elapsed
+// time), so warm and cold sweeps emit identical rows.
+func rowsFrom(results []vliwmt.SweepResult, warn func(error)) []row {
+	var rows []row
+	for _, r := range results {
+		if r.Err != nil {
+			continue
 		}
-	}
-	for i, r := range s {
-		switch r {
-		case '(':
-			depth++
-		case ')':
-			depth--
-		case ',':
-			if depth == 0 {
-				emit(i)
-				start = i + 1
-			}
+		ipc, ierr := r.IPC()
+		if ierr != nil {
+			warn(ierr)
+			continue
 		}
+		mix, _, _ := strings.Cut(r.Job.Label, "/")
+		rows = append(rows, row{
+			Mix:        mix,
+			Scheme:     r.Job.Scheme,
+			Contexts:   r.Job.EffectiveContexts(),
+			Seed:       r.Job.Seed,
+			IPC:        ipc,
+			Cycles:     r.Res.Cycles,
+			Instrs:     r.Res.Instrs,
+			Ops:        r.Res.Ops,
+			ElapsedSec: r.Elapsed.Seconds(),
+		})
 	}
-	emit(len(s))
-	return parts
+	return rows
+}
+
+// writeCSV emits the -format csv document.
+func writeCSV(w io.Writer, rows []row) error {
+	headers := []string{"mix", "scheme", "contexts", "seed", "ipc", "cycles", "instrs", "ops", "elapsed_sec"}
+	var tr [][]string
+	for _, r := range rows {
+		tr = append(tr, []string{r.Mix, r.Scheme, fmt.Sprint(r.Contexts), fmt.Sprint(r.Seed),
+			report.F(r.IPC), fmt.Sprint(r.Cycles), fmt.Sprint(r.Instrs), fmt.Sprint(r.Ops),
+			fmt.Sprintf("%.3f", r.ElapsedSec)})
+	}
+	return report.CSV(w, headers, tr)
 }
 
 func main() {
@@ -92,6 +118,7 @@ func main() {
 		instr      = flag.Int64("instr", 300_000, "per-thread instruction budget")
 		timeslice  = flag.Int64("timeslice", 0, "OS quantum in cycles (0: budget/100)")
 		sharedSeed = flag.Bool("sharedseed", false, "give every job the sweep seed verbatim")
+		store      = flag.String("store", "", "persistent result store directory: serve repeated jobs from disk, persist fresh ones")
 		format     = flag.String("format", "text", "output format: text, json or csv")
 		progress   = flag.Bool("progress", false, "report per-job progress on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -102,6 +129,12 @@ func main() {
 	case "text", "json", "csv":
 	default:
 		log.Fatalf("unknown -format %q (want text, json or csv)", *format)
+	}
+	if *addr != "" && *store != "" {
+		// The remote server owns its own store (vliwserve -results);
+		// silently ignoring -store would look like caching that never
+		// happens.
+		log.Fatal("-store applies to in-process sweeps; with -addr, configure the store on the server (vliwserve -results)")
 	}
 	// Profiling starts only after flag validation, and fatal paths go
 	// through fatal() below so an error mid-sweep still flushes the
@@ -123,14 +156,14 @@ func main() {
 	}()
 
 	grid := vliwmt.Grid{
-		Schemes:         split(*schemes),
-		Mixes:           split(*mixes),
+		Schemes:         merge.SplitNames(*schemes),
+		Mixes:           merge.SplitNames(*mixes),
 		InstrLimit:      *instr,
 		TimesliceCycles: *timeslice,
 		Seed:            *seed,
 		SharedSeed:      *sharedSeed,
 	}
-	opts := &vliwmt.SweepOptions{Workers: *workers}
+	opts := &vliwmt.SweepOptions{Workers: *workers, ResultDir: *store}
 	if *progress {
 		opts.Progress = func(done, total int, r vliwmt.SweepResult) {
 			status := "ok"
@@ -166,29 +199,7 @@ func main() {
 		fatal(err)
 	}
 
-	var rows []row
-	for _, r := range results {
-		if r.Err != nil {
-			continue
-		}
-		ipc, ierr := r.IPC()
-		if ierr != nil {
-			log.Print(ierr)
-			continue
-		}
-		mix, _, _ := strings.Cut(r.Job.Label, "/")
-		rows = append(rows, row{
-			Mix:        mix,
-			Scheme:     r.Job.Scheme,
-			Contexts:   r.Job.EffectiveContexts(),
-			Seed:       r.Job.Seed,
-			IPC:        ipc,
-			Cycles:     r.Res.Cycles,
-			Instrs:     r.Res.Instrs,
-			Ops:        r.Res.Ops,
-			ElapsedSec: r.Elapsed.Seconds(),
-		})
-	}
+	rows := rowsFrom(results, func(err error) { log.Print(err) })
 
 	w := os.Stdout
 	switch *format {
@@ -197,14 +208,7 @@ func main() {
 			fatal(jerr)
 		}
 	case "csv":
-		headers := []string{"mix", "scheme", "contexts", "seed", "ipc", "cycles", "instrs", "ops", "elapsed_sec"}
-		var tr [][]string
-		for _, r := range rows {
-			tr = append(tr, []string{r.Mix, r.Scheme, fmt.Sprint(r.Contexts), fmt.Sprint(r.Seed),
-				report.F(r.IPC), fmt.Sprint(r.Cycles), fmt.Sprint(r.Instrs), fmt.Sprint(r.Ops),
-				fmt.Sprintf("%.3f", r.ElapsedSec)})
-		}
-		if cerr := report.CSV(w, headers, tr); cerr != nil {
+		if cerr := writeCSV(w, rows); cerr != nil {
 			fatal(cerr)
 		}
 	case "text":

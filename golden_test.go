@@ -1,0 +1,63 @@
+package vliwmt_test
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vliwmt"
+)
+
+// TestGoldenCorpus is the golden conformance gate: it replays the
+// committed corpus (testdata/golden/corpus.json — the 16 paper schemes
+// plus IMT/BMT, each under real caches and perfect memory) and fails
+// on any bit-level divergence from the committed results. A failure
+// means this change altered simulator output; if the change is
+// intentional, bless a new baseline with `make golden` and commit the
+// reviewed diff.
+func TestGoldenCorpus(t *testing.T) {
+	path := filepath.Join("testdata", "golden", "corpus.json")
+	golden, err := vliwmt.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The corpus must keep its promised coverage: every paper scheme
+	// and both baselines, each under both memory models.
+	want := append(vliwmt.Schemes(), "IMT", "BMT")
+	covered := map[string]map[bool]bool{}
+	for _, e := range golden.Entries {
+		j, err := e.Job.Sweep()
+		if err != nil {
+			t.Fatalf("entry %s: %v", e.Key, err)
+		}
+		if covered[j.Scheme] == nil {
+			covered[j.Scheme] = map[bool]bool{}
+		}
+		covered[j.Scheme][j.PerfectMemory] = true
+	}
+	for _, s := range want {
+		if !covered[s][false] || !covered[s][true] {
+			t.Errorf("corpus does not cover scheme %s under both memory models", s)
+		}
+	}
+
+	jobs, err := golden.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := vliwmt.SweepJobs(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := vliwmt.SnapshotResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vliwmt.DiffSnapshots(golden, live); !d.Clean() {
+		var b strings.Builder
+		d.WriteText(&b, "golden", "this build")
+		t.Fatalf("simulator output diverges from the golden corpus (bless intentional changes with `make golden`):\n%s", b.String())
+	}
+}

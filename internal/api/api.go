@@ -34,7 +34,10 @@ import (
 //	1: initial format (machine, cache, job, grid, result DTOs)
 //	2: jobs may carry a SchemeSpec ("merge") inlining a first-class
 //	   merge scheme as a canonical tree expression
-const Version = 2
+//	3: results may carry a "cached" flag (served from the persistent
+//	   result store), sweep statuses a "cache_hits" count, and the
+//	   server a /v1/store document (StoreStatus)
+const Version = 3
 
 // Machine is the wire form of isa.Machine.
 type Machine struct {
@@ -373,18 +376,21 @@ func (r SimResult) Sim() sim.Result {
 
 // Result is the wire form of sweep.Result. ElapsedSec is the only
 // wall-clock (non-deterministic) field; Err flattens the job's error
-// to its message, so error identity does not survive the wire.
+// to its message, so error identity does not survive the wire. Cached
+// (wire version 3) reports the result was served from the persistent
+// result store rather than simulated.
 type Result struct {
 	Index      int        `json:"index"`
 	Job        Job        `json:"job"`
 	Sim        *SimResult `json:"sim,omitempty"`
 	Err        string     `json:"err,omitempty"`
 	ElapsedSec float64    `json:"elapsed_sec"`
+	Cached     bool       `json:"cached,omitempty"`
 }
 
 // ResultFrom converts an internal sweep result to its wire form.
 func ResultFrom(r sweep.Result) Result {
-	out := Result{Index: r.Index, Job: JobFrom(r.Job), ElapsedSec: r.Elapsed.Seconds()}
+	out := Result{Index: r.Index, Job: JobFrom(r.Job), ElapsedSec: r.Elapsed.Seconds(), Cached: r.Cached}
 	if r.Err != nil {
 		out.Err = r.Err.Error()
 	}
@@ -404,6 +410,7 @@ func (r Result) Sweep() sweep.Result {
 		Index:   r.Index,
 		Job:     job,
 		Elapsed: time.Duration(r.ElapsedSec * float64(time.Second)),
+		Cached:  r.Cached,
 	}
 	if r.Err != "" {
 		out.Err = errors.New(r.Err)

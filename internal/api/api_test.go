@@ -406,64 +406,3 @@ func TestVersionChecking(t *testing.T) {
 		t.Errorf("minimal grid request rejected: %v", err)
 	}
 }
-
-// TestStoreRoundTrip checks the persistence stub: a successful sweep is
-// spilled and an identical job set is served back with every
-// deterministic field intact; different jobs miss; failed sweeps are
-// not cached.
-func TestStoreRoundTrip(t *testing.T) {
-	dir := t.TempDir()
-	s := Store{Dir: dir}
-	jobs, err := sweep.Grid{Schemes: []string{"2SC3"}, Mixes: []string{"LLHH"}, InstrLimit: 1000}.Jobs()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := s.Load(jobs); ok {
-		t.Fatal("empty store claims a hit")
-	}
-	res := fixtureResult().Sweep()
-	res.Index = 0
-	res.Err = nil
-	results := []sweep.Result{res}
-	if err := s.Save(jobs, results); err != nil {
-		t.Fatal(err)
-	}
-	got, ok := s.Load(jobs)
-	if !ok {
-		t.Fatal("stored sweep not served back")
-	}
-	if len(got) != 1 || !reflect.DeepEqual(got[0].Res, results[0].Res) {
-		t.Errorf("reloaded results drifted: %+v", got)
-	}
-
-	// A different seed is a different experiment: must miss.
-	other, err := sweep.Grid{Schemes: []string{"2SC3"}, Mixes: []string{"LLHH"}, InstrLimit: 1000, Seed: 2}.Jobs()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := s.Load(other); ok {
-		t.Error("different job set served from another sweep's results")
-	}
-
-	// Failed sweeps are never cached.
-	failed := []sweep.Result{{Index: 0, Job: jobs[0], Err: errors.New("boom")}}
-	if err := s.Save(other, failed); err != nil {
-		t.Fatal(err)
-	}
-	if _, ok := s.Load(other); ok {
-		t.Error("failed sweep was cached")
-	}
-
-	// Keys are stable content hashes: same jobs, same key.
-	k1, err := Key(jobs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	k2, err := Key(jobs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if k1 != k2 || len(k1) != 64 {
-		t.Errorf("unstable or malformed key: %q vs %q", k1, k2)
-	}
-}

@@ -41,15 +41,29 @@ type SweepRequest struct {
 
 // SweepStatus is the body of sweep submission and status responses.
 // Results are included once the sweep reaches a terminal state, ordered
-// by job index.
+// by job index. CacheHits (wire version 3) counts the jobs served from
+// the persistent result store instead of being simulated.
 type SweepStatus struct {
-	Version int      `json:"version"`
-	ID      string   `json:"id"`
-	State   State    `json:"state"`
-	Done    int      `json:"done"`
-	Total   int      `json:"total"`
-	Results []Result `json:"results,omitempty"`
-	Error   string   `json:"error,omitempty"`
+	Version   int      `json:"version"`
+	ID        string   `json:"id"`
+	State     State    `json:"state"`
+	Done      int      `json:"done"`
+	Total     int      `json:"total"`
+	CacheHits int      `json:"cache_hits,omitempty"`
+	Results   []Result `json:"results,omitempty"`
+	Error     string   `json:"error,omitempty"`
+}
+
+// StoreStatus is the body of GET /v1/store (wire version 3): the
+// server's persistent result store — entry count on disk plus the
+// server handle's lifetime traffic counters.
+type StoreStatus struct {
+	Version int    `json:"version"`
+	Entries int    `json:"entries"`
+	Hits    int64  `json:"hits"`
+	Misses  int64  `json:"misses"`
+	Puts    int64  `json:"puts"`
+	Error   string `json:"error,omitempty"`
 }
 
 // Event is one line of the NDJSON progress stream

@@ -209,3 +209,32 @@ func (p *exprParser) input() (Input, error) {
 	}
 	return Sub(n), nil
 }
+
+// SplitNames breaks a comma-separated scheme-name list, leaving commas
+// inside parentheses alone so tree expressions like C(S(T0,T1),T2,T3)
+// stay whole. It is the one splitter every CLI -schemes/-mixes flag
+// shares, so the list grammar cannot drift between commands.
+func SplitNames(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	emit := func(end int) {
+		if p := strings.TrimSpace(s[start:end]); p != "" {
+			parts = append(parts, p)
+		}
+	}
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				emit(i)
+				start = i + 1
+			}
+		}
+	}
+	emit(len(s))
+	return parts
+}

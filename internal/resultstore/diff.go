@@ -1,0 +1,210 @@
+package resultstore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"vliwmt/internal/api"
+)
+
+// FieldDelta is one metric that differs between two snapshots of the
+// same job: the field's wire name and both rendered values.
+type FieldDelta struct {
+	Field string `json:"field"`
+	Old   string `json:"old"`
+	New   string `json:"new"`
+}
+
+// EntryStatus classifies one diverging snapshot entry.
+type EntryStatus string
+
+const (
+	// StatusChanged: the job is in both snapshots with different results.
+	StatusChanged EntryStatus = "changed"
+	// StatusOnlyOld: the job is only in the old snapshot.
+	StatusOnlyOld EntryStatus = "only-old"
+	// StatusOnlyNew: the job is only in the new snapshot.
+	StatusOnlyNew EntryStatus = "only-new"
+)
+
+// EntryDiff is one diverging entry: which job, how it diverged, and —
+// for changed entries — every metric that moved.
+type EntryDiff struct {
+	Key    string       `json:"key"`
+	Label  string       `json:"label,omitempty"`
+	Status EntryStatus  `json:"status"`
+	Fields []FieldDelta `json:"fields,omitempty"`
+}
+
+// Diff is the comparison of two snapshots, keyed by job content hash.
+// Identical is the count of jobs whose results are bit-identical;
+// Entries lists every divergence in key order.
+type Diff struct {
+	Identical int         `json:"identical"`
+	Entries   []EntryDiff `json:"entries,omitempty"`
+}
+
+// Clean reports whether the two snapshots agree on every shared job
+// and cover the same job set.
+func (d Diff) Clean() bool { return len(d.Entries) == 0 }
+
+// Counts returns how many entries changed, are only in the old
+// snapshot, and are only in the new one.
+func (d Diff) Counts() (changed, onlyOld, onlyNew int) {
+	for _, e := range d.Entries {
+		switch e.Status {
+		case StatusChanged:
+			changed++
+		case StatusOnlyOld:
+			onlyOld++
+		case StatusOnlyNew:
+			onlyNew++
+		}
+	}
+	return
+}
+
+// DiffSnapshots compares two snapshots entry by entry. Jobs are
+// matched by content key — which already encodes the whole
+// configuration — so only results are compared; a changed entry lists
+// every diverging metric. Entries present on one side only are
+// reported too: a baseline that silently lost coverage is as much a
+// regression as one that changed numbers.
+func DiffSnapshots(old, new Snapshot) Diff {
+	oldByKey := make(map[string]Entry, len(old.Entries))
+	for _, e := range old.Entries {
+		oldByKey[e.Key] = e
+	}
+	newKeys := make(map[string]bool, len(new.Entries))
+
+	var d Diff
+	for _, ne := range new.Entries {
+		newKeys[ne.Key] = true
+		oe, ok := oldByKey[ne.Key]
+		if !ok {
+			d.Entries = append(d.Entries, EntryDiff{Key: ne.Key, Label: ne.Label, Status: StatusOnlyNew})
+			continue
+		}
+		if fields := simDeltas(oe.Sim, ne.Sim); len(fields) > 0 {
+			d.Entries = append(d.Entries, EntryDiff{Key: ne.Key, Label: ne.Label, Status: StatusChanged, Fields: fields})
+		} else {
+			d.Identical++
+		}
+	}
+	for _, oe := range old.Entries {
+		if !newKeys[oe.Key] {
+			d.Entries = append(d.Entries, EntryDiff{Key: oe.Key, Label: oe.Label, Status: StatusOnlyOld})
+		}
+	}
+	sort.Slice(d.Entries, func(i, j int) bool { return d.Entries[i].Key < d.Entries[j].Key })
+	return d
+}
+
+// deltaCollector accumulates field deltas with typed renderers.
+type deltaCollector []FieldDelta
+
+func (c *deltaCollector) ints(field string, a, b int64) {
+	if a != b {
+		*c = append(*c, FieldDelta{field, strconv.FormatInt(a, 10), strconv.FormatInt(b, 10)})
+	}
+}
+
+func (c *deltaCollector) floats(field string, a, b float64) {
+	if a != b {
+		*c = append(*c, FieldDelta{
+			field,
+			strconv.FormatFloat(a, 'g', -1, 64),
+			strconv.FormatFloat(b, 'g', -1, 64),
+		})
+	}
+}
+
+func (c *deltaCollector) bools(field string, a, b bool) {
+	if a != b {
+		*c = append(*c, FieldDelta{field, strconv.FormatBool(a), strconv.FormatBool(b)})
+	}
+}
+
+// simDeltas enumerates every diverging field of two wire results. The
+// enumeration is exhaustive over api.SimResult — each field appears
+// here by name — so "no deltas" is exactly "bit-identical result".
+func simDeltas(a, b api.SimResult) []FieldDelta {
+	var c deltaCollector
+	c.ints("cycles", a.Cycles, b.Cycles)
+	c.ints("instrs", a.Instrs, b.Instrs)
+	c.ints("ops", a.Ops, b.Ops)
+	c.floats("ipc", a.IPC, b.IPC)
+	c.ints("empty_cycles", a.EmptyCycles, b.EmptyCycles)
+	c.ints("issue_width", int64(a.IssueWidth), int64(b.IssueWidth))
+	c.bools("timed_out", a.TimedOut, b.TimedOut)
+
+	if len(a.MergeHist) != len(b.MergeHist) {
+		c.ints("merge_hist(len)", int64(len(a.MergeHist)), int64(len(b.MergeHist)))
+	} else {
+		for i := range a.MergeHist {
+			c.ints(fmt.Sprintf("merge_hist[%d]", i), a.MergeHist[i], b.MergeHist[i])
+		}
+	}
+
+	c.ints("icache.accesses", a.ICache.Accesses, b.ICache.Accesses)
+	c.ints("icache.misses", a.ICache.Misses, b.ICache.Misses)
+	c.ints("icache.writebacks", a.ICache.Writebacks, b.ICache.Writebacks)
+	c.ints("dcache.accesses", a.DCache.Accesses, b.DCache.Accesses)
+	c.ints("dcache.misses", a.DCache.Misses, b.DCache.Misses)
+	c.ints("dcache.writebacks", a.DCache.Writebacks, b.DCache.Writebacks)
+
+	if len(a.Threads) != len(b.Threads) {
+		c.ints("threads(len)", int64(len(a.Threads)), int64(len(b.Threads)))
+		return c
+	}
+	for i := range a.Threads {
+		at, bt := a.Threads[i], b.Threads[i]
+		pre := fmt.Sprintf("threads[%d].", i)
+		if at.Name != bt.Name {
+			c = append(c, FieldDelta{pre + "name", at.Name, bt.Name})
+		}
+		c.ints(pre+"instrs", at.Instrs, bt.Instrs)
+		c.ints(pre+"ops", at.Ops, bt.Ops)
+		c.ints(pre+"scheduled_cycles", at.ScheduledCycles, bt.ScheduledCycles)
+		c.ints(pre+"conflict_cycles", at.ConflictCycles, bt.ConflictCycles)
+		c.ints(pre+"stall_mem", at.StallMem, bt.StallMem)
+		c.ints(pre+"stall_fetch", at.StallFetch, bt.StallFetch)
+		c.ints(pre+"stall_branch", at.StallBranch, bt.StallBranch)
+	}
+	return c
+}
+
+// WriteText renders the diff for humans: every divergence with its
+// per-metric deltas, then a one-line summary. oldName and newName
+// label the two sides (e.g. the paths vliwdiff was given).
+func (d Diff) WriteText(w io.Writer, oldName, newName string) {
+	for _, e := range d.Entries {
+		label := e.Label
+		if label == "" {
+			label = e.Key
+		}
+		switch e.Status {
+		case StatusOnlyOld:
+			fmt.Fprintf(w, "- %s (%s): only in %s\n", label, short(e.Key), oldName)
+		case StatusOnlyNew:
+			fmt.Fprintf(w, "+ %s (%s): only in %s\n", label, short(e.Key), newName)
+		case StatusChanged:
+			fmt.Fprintf(w, "~ %s (%s):\n", label, short(e.Key))
+			for _, f := range e.Fields {
+				fmt.Fprintf(w, "    %-24s %s -> %s\n", f.Field, f.Old, f.New)
+			}
+		}
+	}
+	changed, onlyOld, onlyNew := d.Counts()
+	fmt.Fprintf(w, "%d identical, %d changed, %d only in %s, %d only in %s\n",
+		d.Identical, changed, onlyOld, oldName, onlyNew, newName)
+}
+
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}

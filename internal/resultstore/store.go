@@ -1,0 +1,248 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vliwmt/internal/api"
+	"vliwmt/internal/sim"
+	"vliwmt/internal/sweep"
+)
+
+// Store is a content-addressed result cache rooted at a directory.
+// Entries live under jobs/<k[:2]>/<k>.json (sharded by the first hash
+// byte so no single directory grows into the millions), each written
+// atomically via a temp file + rename, so concurrent writers — other
+// goroutines, other processes, a server restarting mid-sweep — never
+// expose a torn entry to a reader.
+//
+// Every read failure is a miss: a missing file, a truncated or corrupt
+// document, a SchemaVersion mismatch, a key that does not match the
+// filename. The store can therefore only ever cost a re-simulation,
+// never return a wrong answer. A Store handle is safe for concurrent
+// use; the zero Store (empty Dir) stores nothing and never hits.
+type Store struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+}
+
+// Open returns a Store rooted at dir. The directory is created on
+// first Put, not here, so pointing a read path at a never-written
+// location is not an error. An empty dir yields a disabled store.
+func Open(dir string) *Store { return &Store{dir: dir} }
+
+// Dir returns the store's root directory ("" for a disabled store).
+func (s *Store) Dir() string { return s.dir }
+
+// Stats is a point-in-time snapshot of a Store handle's traffic
+// counters. Counters are per-handle, not per-directory: two handles on
+// one directory count their own traffic.
+type Stats struct {
+	// Hits counts Gets served from disk.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that fell through to simulation.
+	Misses int64 `json:"misses"`
+	// Puts counts entries written.
+	Puts int64 `json:"puts"`
+}
+
+// Stats returns the handle's traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Puts: s.puts.Load()}
+}
+
+// entryFile is the on-disk document of one stored job result. The key
+// is stored redundantly with the filename so a renamed or hand-copied
+// file is detected; the job is stored in wire form so an entry is
+// self-describing (vliwdiff labels deltas from it, and a golden
+// corpus entry can be re-run without the grid that produced it).
+type entryFile struct {
+	Schema int           `json:"schema"`
+	Key    string        `json:"key"`
+	Job    api.Job       `json:"job"`
+	Sim    api.SimResult `json:"sim"`
+	// ElapsedNS is integer nanoseconds (not the wire format's float
+	// seconds) so the replayed duration is bit-exact: a warm sweep
+	// reports precisely the elapsed values the cold sweep did.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, "jobs", key[:2], key+".json")
+}
+
+// readEntry loads and validates one entry file; any failure is (zero,
+// false).
+func readEntry(path, wantKey string) (entryFile, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return entryFile{}, false
+	}
+	var e entryFile
+	if err := json.Unmarshal(b, &e); err != nil {
+		return entryFile{}, false
+	}
+	if e.Schema != SchemaVersion || (wantKey != "" && e.Key != wantKey) {
+		return entryFile{}, false
+	}
+	return e, true
+}
+
+// Get returns the stored result for the job, with the wall-clock time
+// the original simulation took (replayed so a warm sweep reports the
+// same elapsed column as the cold one). Any failure — unkeyable job,
+// missing, torn, corrupt or schema-mismatched entry — is a miss.
+func (s *Store) Get(j sweep.Job) (*sim.Result, time.Duration, bool) {
+	if s == nil || s.dir == "" {
+		return nil, 0, false
+	}
+	key, err := Key(j)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, 0, false
+	}
+	e, ok := readEntry(s.path(key), key)
+	if !ok {
+		s.misses.Add(1)
+		return nil, 0, false
+	}
+	res := e.Sim.Sim()
+	s.hits.Add(1)
+	return &res, time.Duration(e.ElapsedNS), true
+}
+
+// Put persists one completed job result. The write is atomic (temp
+// file in the final directory + rename), so a concurrent Get on the
+// same key sees either the old entry or the new one, never a torn
+// file; concurrent Puts of the same key are idempotent (identical
+// content under the determinism contract) and last-rename-wins.
+func (s *Store) Put(j sweep.Job, res *sim.Result, elapsed time.Duration) error {
+	if s == nil || s.dir == "" || res == nil {
+		return nil
+	}
+	key, err := Key(j)
+	if err != nil {
+		return err
+	}
+	e := entryFile{
+		Schema:    SchemaVersion,
+		Key:       key,
+		Job:       api.JobFrom(j),
+		Sim:       api.SimResultFrom(*res),
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	b, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("resultstore: encode %s: %w", key, err)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// Len counts the entries on disk — a plain walk, with none of
+// Snapshot's path collection and sorting, so polling it (the server's
+// GET /v1/store) stays cheap even at millions of entries. A store that
+// was never written has zero entries.
+func (s *Store) Len() (int, error) {
+	if s == nil || s.dir == "" {
+		return 0, nil
+	}
+	n := 0
+	err := filepath.WalkDir(filepath.Join(s.dir, "jobs"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if entryFileName(d) {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return n, fmt.Errorf("resultstore: len: %w", err)
+	}
+	return n, nil
+}
+
+// Clear removes every stored entry. The shard tree is deleted
+// wholesale; the root directory itself is kept so handles stay valid.
+func (s *Store) Clear() error {
+	if s == nil || s.dir == "" {
+		return nil
+	}
+	if err := os.RemoveAll(filepath.Join(s.dir, "jobs")); err != nil {
+		return fmt.Errorf("resultstore: clear: %w", err)
+	}
+	return nil
+}
+
+// entryFileName reports whether a walked directory entry looks like a
+// stored result (and not a shard directory or an in-flight temp file).
+func entryFileName(d fs.DirEntry) bool {
+	return !d.IsDir() && strings.HasSuffix(d.Name(), ".json") && !strings.HasPrefix(d.Name(), ".")
+}
+
+// walk visits every entry file path in deterministic (lexical key)
+// order. A missing store is an empty store.
+func (s *Store) walk(fn func(path string) error) error {
+	if s == nil || s.dir == "" {
+		return nil
+	}
+	root := filepath.Join(s.dir, "jobs")
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if entryFileName(d) {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("resultstore: walk: %w", err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

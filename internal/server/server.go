@@ -6,6 +6,8 @@
 //	GET    /v1/sweeps/{id}        status, plus ordered results once terminal
 //	GET    /v1/sweeps/{id}/events NDJSON progress stream (replay + live)
 //	DELETE /v1/sweeps/{id}        cancel a running sweep
+//	GET    /v1/store             result-store stats (entries, hits, misses)
+//	DELETE /v1/store             clear the result store
 //	GET    /healthz              liveness probe
 //
 // Bodies are the versioned wire documents of internal/api. Every sweep
@@ -14,6 +16,15 @@
 // or by server Close. The engine's determinism contract holds across
 // the wire: results are index-ordered, seed-derived and bit-identical
 // to an in-process run at any worker count.
+//
+// With a result directory configured, every sweep also shares one
+// persistent result store: completed jobs are content-addressed on
+// disk, identical submitted jobs (in any grid, from any client) are
+// served from it without simulating, and — because the store outlives
+// the process — a restarted server keeps serving results computed by
+// its predecessor. Cache hits are visible per job (results carry
+// "cached": true in /events and status documents) and per sweep (the
+// status's "cache_hits" count).
 package server
 
 import (
@@ -36,17 +47,21 @@ type Options struct {
 	// Workers is the default per-sweep worker pool size when a request
 	// does not ask for one; 0 selects runtime.NumCPU().
 	Workers int
-	// ResultDir, when set, enables content-addressed result
-	// persistence: identical repeat sweeps are served from disk.
+	// ResultDir, when set, roots the persistent result store there:
+	// completed jobs are content-addressed on disk, identical submitted
+	// jobs are served without simulating, and the cache survives server
+	// restarts.
 	ResultDir string
 	// Log receives request and sweep lifecycle lines; nil disables.
 	Log *log.Logger
 }
 
-// Server owns the sweep runs and the shared compile cache.
+// Server owns the sweep runs, the shared compile cache and the shared
+// result store.
 type Server struct {
 	opts   Options
 	cache  *vliwmt.CompileCache
+	store  *vliwmt.ResultStore // nil when persistence is disabled
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -60,13 +75,17 @@ type Server struct {
 // shutdown (cancelling any in-flight sweeps).
 func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opts:   opts,
 		cache:  vliwmt.NewCompileCache(),
 		ctx:    ctx,
 		cancel: cancel,
 		runs:   map[string]*run{},
 	}
+	if opts.ResultDir != "" {
+		s.store = vliwmt.OpenResultStore(opts.ResultDir)
+	}
+	return s
 }
 
 // Close cancels every in-flight sweep.
@@ -84,6 +103,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/store", s.handleStoreStatus)
+	mux.HandleFunc("DELETE /v1/store", s.handleStoreClear)
 	return mux
 }
 
@@ -101,13 +122,14 @@ type run struct {
 	total  int
 	cancel context.CancelFunc
 
-	mu      sync.Mutex
-	state   api.State
-	done    int
-	events  []api.Event
-	subs    map[chan api.Event]struct{}
-	results []sweep.Result
-	err     error
+	mu        sync.Mutex
+	state     api.State
+	done      int
+	cacheHits int
+	events    []api.Event
+	subs      map[chan api.Event]struct{}
+	results   []sweep.Result
+	err       error
 }
 
 func newRun(id string, total int, cancel context.CancelFunc) *run {
@@ -133,12 +155,18 @@ func (r *run) broadcast(ev api.Event) {
 	}
 }
 
-// progress is the Runner's progress sink.
+// progress is the Runner's progress sink. Cache hits are counted here
+// so the accounting covers every served-from-store job, streamed or
+// not: the event's result carries the per-job "cached" flag and the
+// status document aggregates them.
 func (r *run) progress(done, total int, res sweep.Result) {
 	ar := api.ResultFrom(res)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.done = done
+	if res.Cached {
+		r.cacheHits++
+	}
 	r.broadcast(api.Event{Done: done, Total: total, Result: &ar})
 }
 
@@ -195,11 +223,12 @@ func (r *run) status(withResults bool) api.SweepStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := api.SweepStatus{
-		Version: api.Version,
-		ID:      r.id,
-		State:   r.state,
-		Done:    r.done,
-		Total:   r.total,
+		Version:   api.Version,
+		ID:        r.id,
+		State:     r.state,
+		Done:      r.done,
+		Total:     r.total,
+		CacheHits: r.cacheHits,
 	}
 	if r.state.Terminal() {
 		if withResults {
@@ -256,12 +285,47 @@ func (s *Server) execute(ctx context.Context, ru *run, jobs []sweep.Job, workers
 		vliwmt.WithWorkers(workers),
 		vliwmt.WithCache(s.cache),
 		vliwmt.WithProgress(ru.progress),
-		vliwmt.WithResultDir(s.opts.ResultDir),
+		vliwmt.WithStore(s.store),
 	)
 	results, err := runner.SweepJobs(ctx, jobs)
 	ru.finish(results, err)
 	st := ru.status(false)
-	s.logf("sweep %s: %s (%d/%d jobs)", ru.id, st.State, st.Done, st.Total)
+	s.logf("sweep %s: %s (%d/%d jobs, %d from store)", ru.id, st.State, st.Done, st.Total, st.CacheHits)
+}
+
+// handleStoreStatus reports the shared result store: entries on disk
+// plus this server's lifetime hit/miss/put counters. Without a
+// configured result directory there is no store to report on.
+func (s *Server) handleStoreStatus(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, "no result store configured (start the server with a result directory)")
+		return
+	}
+	st := api.StoreStatus{Version: api.Version}
+	stats := s.store.Stats()
+	st.Hits, st.Misses, st.Puts = stats.Hits, stats.Misses, stats.Puts
+	n, err := s.store.Len()
+	st.Entries = n
+	if err != nil {
+		st.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStoreClear empties the result store: every later job misses
+// and re-simulates. The traffic counters are lifetime counters and are
+// not reset.
+func (s *Server) handleStoreClear(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		httpError(w, http.StatusNotFound, "no result store configured (start the server with a result directory)")
+		return
+	}
+	if err := s.store.Clear(); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.logf("store: cleared")
+	writeJSON(w, http.StatusOK, api.StoreStatus{Version: api.Version})
 }
 
 // parseWait interprets the wait query parameter: absent means async,

@@ -329,6 +329,100 @@ func TestResultPersistenceServesRepeats(t *testing.T) {
 	if got, want := fingerprint(t, api.SweepResults(second.Results)), fingerprint(t, api.SweepResults(first.Results)); got != want {
 		t.Errorf("disk-served results differ:\n%s\nvs\n%s", got, want)
 	}
+
+	// The cache-hit accounting: the cold sweep hit nothing, the warm
+	// sweep was served entirely from the store, per-result and in the
+	// status aggregate.
+	if first.CacheHits != 0 {
+		t.Errorf("cold sweep reports %d cache hits, want 0", first.CacheHits)
+	}
+	if second.CacheHits != second.Total {
+		t.Errorf("warm sweep reports %d cache hits, want %d", second.CacheHits, second.Total)
+	}
+	for _, r := range second.Results {
+		if !r.Cached {
+			t.Errorf("warm result %s not marked cached", r.Job.Label)
+		}
+	}
+
+	// The store outlives the server: a fresh server on the same
+	// directory — a restart — serves the same sweep without simulating.
+	srv2, ts2 := newTestServer(t, Options{ResultDir: dir})
+	third := waitTerminal(t, ts2, submit(t, ts2, api.SweepRequest{Grid: &g}, "").ID)
+	if third.State != api.StateDone || third.CacheHits != third.Total {
+		t.Errorf("restarted server: state %s, %d/%d cache hits; want done and all hits",
+			third.State, third.CacheHits, third.Total)
+	}
+	if compiles, _ := srv2.cache.Stats(); compiles != 0 {
+		t.Errorf("restarted server compiled %d kernels for a stored sweep, want 0", compiles)
+	}
+}
+
+func storeStatus(t *testing.T, ts *httptest.Server, method string) (api.StoreStatus, int) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+"/v1/store", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st api.StoreStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// TestStoreEndpoints checks GET /v1/store (entry count and traffic
+// counters) and DELETE /v1/store (clearing forces re-simulation), and
+// that both 404 without a configured result directory.
+func TestStoreEndpoints(t *testing.T) {
+	g := testGrid()
+
+	_, ts := newTestServer(t, Options{})
+	if _, code := storeStatus(t, ts, http.MethodGet); code != http.StatusNotFound {
+		t.Errorf("GET /v1/store without a store: %d, want 404", code)
+	}
+	if _, code := storeStatus(t, ts, http.MethodDelete); code != http.StatusNotFound {
+		t.Errorf("DELETE /v1/store without a store: %d, want 404", code)
+	}
+
+	_, ts = newTestServer(t, Options{ResultDir: t.TempDir()})
+	first := waitTerminal(t, ts, submit(t, ts, api.SweepRequest{Grid: &g}, "").ID)
+	if first.State != api.StateDone {
+		t.Fatalf("first sweep: %+v", first)
+	}
+	st, code := storeStatus(t, ts, http.MethodGet)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/store: %d", code)
+	}
+	if st.Entries != first.Total || st.Puts != int64(first.Total) {
+		t.Errorf("store after cold sweep: %+v, want %d entries and puts", st, first.Total)
+	}
+
+	if _, code := storeStatus(t, ts, http.MethodDelete); code != http.StatusOK {
+		t.Fatalf("DELETE /v1/store: %d", code)
+	}
+	st, _ = storeStatus(t, ts, http.MethodGet)
+	if st.Entries != 0 {
+		t.Errorf("store not empty after clear: %+v", st)
+	}
+
+	// With the store cleared, the same grid simulates afresh (no hits),
+	// repopulating the store.
+	second := waitTerminal(t, ts, submit(t, ts, api.SweepRequest{Grid: &g}, "").ID)
+	if second.CacheHits != 0 {
+		t.Errorf("post-clear sweep reports %d cache hits, want 0", second.CacheHits)
+	}
+	st, _ = storeStatus(t, ts, http.MethodGet)
+	if st.Entries != second.Total {
+		t.Errorf("store not repopulated after clear: %+v", st)
+	}
 }
 
 // TestRunRetentionBounded checks that terminal runs are evicted once

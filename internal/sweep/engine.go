@@ -16,6 +16,17 @@ import (
 // callback needs no locking of its own.
 type ProgressFunc func(done, total int, r Result)
 
+// ResultStore caches completed job results across sweeps (and, for a
+// disk-backed implementation, across processes). Get must return only
+// results the determinism contract vouches for — a hit is served in
+// place of a simulation, with the stored wall-clock time replayed on
+// the Result. Implementations must be safe for concurrent use; the
+// engine calls them from every worker.
+type ResultStore interface {
+	Get(Job) (*sim.Result, time.Duration, bool)
+	Put(Job, *sim.Result, time.Duration) error
+}
+
 // Engine executes job sets on a bounded worker pool with a shared
 // compile cache. An Engine is safe for use by a single sweep at a time
 // per Run call; the compile cache it owns is shared across Runs, so
@@ -24,6 +35,7 @@ type Engine struct {
 	workers  int
 	cache    *CompileCache
 	progress ProgressFunc
+	store    ResultStore
 }
 
 // PoolSize resolves a requested worker count to the effective pool
@@ -60,6 +72,14 @@ func (e *Engine) SetCache(c *CompileCache) {
 
 // SetProgress installs a progress callback for subsequent Runs.
 func (e *Engine) SetProgress(fn ProgressFunc) { e.progress = fn }
+
+// SetStore attaches a result store. Each job is looked up before it is
+// compiled or simulated — a hit skips both and marks the Result Cached
+// — and every successfully simulated job is written back, so partial
+// overlaps between sweeps reuse exactly the shared jobs. Store write
+// failures are ignored: persistence is an optimisation, never a
+// correctness dependency.
+func (e *Engine) SetStore(s ResultStore) { e.store = s }
 
 // Run executes every job and returns one Result per job, ordered by job
 // index regardless of completion order. Individual job failures are
@@ -102,10 +122,20 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 					results[i].Err = err
 					continue
 				}
-				start := time.Now()
-				res, err := e.runJob(jobs[i])
-				results[i].Res, results[i].Err = res, err
-				results[i].Elapsed = time.Since(start)
+				if e.store != nil {
+					if res, elapsed, ok := e.store.Get(jobs[i]); ok {
+						results[i].Res, results[i].Elapsed, results[i].Cached = res, elapsed, true
+					}
+				}
+				if !results[i].Cached {
+					start := time.Now()
+					res, err := e.runJob(jobs[i])
+					results[i].Res, results[i].Err = res, err
+					results[i].Elapsed = time.Since(start)
+					if err == nil && e.store != nil {
+						_ = e.store.Put(jobs[i], res, results[i].Elapsed)
+					}
+				}
 				if e.progress != nil {
 					mu.Lock()
 					done++

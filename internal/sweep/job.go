@@ -167,8 +167,14 @@ type Result struct {
 	// jobs skipped after cancellation.
 	Err error
 	// Elapsed is the job's wall-clock simulation time. It is the only
-	// non-deterministic field of a Result.
+	// non-deterministic field of a Result; for a Cached result it is
+	// the original simulation's time, replayed from the store so warm
+	// and cold sweeps report identical rows.
 	Elapsed time.Duration
+	// Cached reports that Res was served from a result store instead of
+	// being simulated. It is informational: a cached result is
+	// bit-identical to a fresh one under the determinism contract.
+	Cached bool
 }
 
 // IPC returns the achieved IPC, or an error if the job failed or the

@@ -3,11 +3,35 @@ package vliwmt
 import (
 	"context"
 
-	"vliwmt/internal/api"
+	"vliwmt/internal/resultstore"
 	"vliwmt/internal/sim"
 	"vliwmt/internal/sweep"
 	"vliwmt/internal/workload"
 )
+
+// ResultStore is a disk-backed, content-addressed cache of completed
+// sweep jobs: every successfully simulated job is persisted under a
+// canonical hash of its full configuration (scheme tree, machine,
+// caches, memory model, budget, seed, result-schema version), and any
+// later sweep — in this process or another — that contains an
+// identical job is served from disk instead of re-simulating it.
+// Served results are marked SweepResult.Cached and replay the original
+// run's elapsed time, so warm output is byte-identical to cold output.
+//
+// A ResultStore is safe for concurrent use and for sharing between
+// Runners (the server shares one across every sweep it executes).
+// Corrupt, truncated or schema-mismatched entries are treated as cache
+// misses, never served.
+type ResultStore = resultstore.Store
+
+// StoreStats is a snapshot of a ResultStore handle's traffic counters
+// (hits, misses, puts).
+type StoreStats = resultstore.Stats
+
+// OpenResultStore returns a result store rooted at dir. The directory
+// is created on first write; opening a nonexistent or empty directory
+// is valid (everything misses until the first sweep completes).
+func OpenResultStore(dir string) *ResultStore { return resultstore.Open(dir) }
 
 // CompileCache memoizes kernel compilation per (benchmark, machine).
 // Compiled programs are immutable, so a cache is safe to share between
@@ -33,11 +57,11 @@ func SharedCompileCache() *CompileCache { return sweep.SharedCache() }
 // and one worker per core. The package-level functions are thin
 // wrappers over a default Runner attached to the process-wide cache.
 type Runner struct {
-	workers   int
-	cache     *CompileCache
-	progress  func(done, total int, r SweepResult)
-	seed      uint64
-	resultDir string
+	workers  int
+	cache    *CompileCache
+	progress func(done, total int, r SweepResult)
+	seed     uint64
+	store    *ResultStore
 }
 
 // RunnerOption configures a Runner.
@@ -80,15 +104,39 @@ func WithSeed(seed uint64) RunnerOption {
 	return func(r *Runner) { r.seed = seed }
 }
 
-// WithResultDir enables result persistence: completed sweeps are
-// spilled to dir as wire-format JSON keyed by a content hash of the
-// job set (jobs embed seed and machine), and a repeated identical
-// sweep is served from disk instead of re-simulating. Only fully
-// successful sweeps are stored; spill failures are silently ignored
-// (persistence is an optimisation, never a correctness dependency).
-func WithResultDir(dir string) RunnerOption {
-	return func(r *Runner) { r.resultDir = dir }
+// WithResultStore enables result persistence rooted at dir: every
+// successfully simulated job is written to the content-addressed store
+// and any job with an identical configuration — in this sweep, a later
+// sweep, or a later process — is served from disk instead of
+// re-simulating. Lookups are per job, so a sweep that overlaps an
+// earlier one only simulates the jobs that actually changed. Store
+// write failures are silently ignored (persistence is an optimisation,
+// never a correctness dependency); corrupt entries are misses.
+func WithResultStore(dir string) RunnerOption {
+	return func(r *Runner) {
+		if dir != "" {
+			r.store = resultstore.Open(dir)
+		}
+	}
 }
+
+// WithStore attaches an existing result store handle, typically to
+// share one store (and its hit/miss counters) between Runners, as the
+// sweep server does. A nil store is ignored.
+func WithStore(s *ResultStore) RunnerOption {
+	return func(r *Runner) {
+		if s != nil {
+			r.store = s
+		}
+	}
+}
+
+// WithResultDir enables result persistence.
+//
+// Deprecated: WithResultDir is the original spelling of
+// WithResultStore and behaves identically; new code should use
+// WithResultStore.
+func WithResultDir(dir string) RunnerOption { return WithResultStore(dir) }
 
 // NewRunner returns a session configured by opts.
 func NewRunner(opts ...RunnerOption) *Runner {
@@ -101,6 +149,10 @@ func NewRunner(opts ...RunnerOption) *Runner {
 
 // Cache exposes the Runner's compile cache (for stats and pre-warming).
 func (r *Runner) Cache() *CompileCache { return r.cache }
+
+// Store exposes the Runner's result store (nil when persistence is
+// disabled), for stats, snapshots and sharing.
+func (r *Runner) Store() *ResultStore { return r.store }
 
 // Run simulates the given software threads under cfg.
 func (r *Runner) Run(cfg Config, tasks []Task) (*Result, error) {
@@ -142,28 +194,18 @@ func (r *Runner) Sweep(ctx context.Context, g Grid) ([]SweepResult, error) {
 // SweepJobs executes an explicit job set on the Runner's worker pool
 // with its shared compile cache. Results come back ordered by job
 // index, bit-identical at any worker count. When result persistence is
-// enabled and an identical job set has completed before, the stored
-// results are returned (replaying progress callbacks) without
-// simulating.
+// enabled, each job is looked up in the store before being compiled or
+// simulated — previously completed jobs come back marked Cached with
+// the original elapsed time — and every fresh simulation is persisted,
+// so repeating a sweep against a warm store performs zero simulations.
 func (r *Runner) SweepJobs(ctx context.Context, jobs []SweepJob) ([]SweepResult, error) {
-	store := api.Store{Dir: r.resultDir}
-	if results, ok := store.Load(jobs); ok {
-		if r.progress != nil {
-			for i, res := range results {
-				r.progress(i+1, len(results), res)
-			}
-		}
-		return results, nil
-	}
 	e := sweep.New(r.workers)
 	e.SetCache(r.cache)
 	if r.progress != nil {
 		e.SetProgress(r.progress)
 	}
-	results, err := e.Run(ctx, jobs)
-	if err == nil {
-		// Best-effort spill; Save itself skips partially failed sweeps.
-		_ = store.Save(jobs, results)
+	if r.store != nil {
+		e.SetStore(r.store)
 	}
-	return results, err
+	return e.Run(ctx, jobs)
 }

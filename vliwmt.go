@@ -23,7 +23,12 @@
 //     a worker pool with a shared compile cache and deterministic
 //     aggregation (Sweep, Grid, SweepResult),
 //   - a long-lived session API (Runner) and an HTTP client (Client) that
-//     submits the same grids to a remote vliwserve instance.
+//     submits the same grids to a remote vliwserve instance,
+//   - a persistent, content-addressed result store (WithResultStore)
+//     that serves repeated jobs from disk, and a golden conformance
+//     harness (JobKey, SnapshotResults, DiffSnapshots, cmd/vliwdiff,
+//     cmd/vliwgolden) that makes simulator regressions diffable across
+//     commits.
 //
 // The quickest start, by scheme name:
 //
@@ -75,7 +80,7 @@
 // unchanged. Construct your own Runner when you want an isolated or
 // explicitly shared cache, a fixed worker budget, a default seed, a
 // progress sink that outlives one call, or on-disk result persistence
-// (WithResultDir).
+// (WithResultStore).
 //
 // Sweeps can also run remotely: cmd/vliwserve serves the sweep engine
 // over HTTP (POST /v1/sweeps, status, NDJSON progress events), and
@@ -283,12 +288,17 @@ type SweepOptions struct {
 	// Progress, when set, is called after each job completes (done jobs,
 	// total jobs, the completed result). Calls are serialised.
 	Progress func(done, total int, r SweepResult)
+	// ResultDir, when set, roots a persistent result store there:
+	// previously completed jobs are served from disk (marked Cached)
+	// and fresh simulations are persisted. See WithResultStore.
+	ResultDir string
 }
 
 // runner builds a one-call Runner on the process-wide compile cache
 // from legacy SweepOptions.
 func (o SweepOptions) runner() *Runner {
-	return NewRunner(WithSharedCache(), WithWorkers(o.Workers), WithProgress(o.Progress))
+	return NewRunner(WithSharedCache(), WithWorkers(o.Workers), WithProgress(o.Progress),
+		WithResultStore(o.ResultDir))
 }
 
 // Sweep expands the grid into jobs and executes them on a bounded worker

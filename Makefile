@@ -9,10 +9,19 @@ SHELL := /bin/bash
 
 SIMCORE_BENCHES = BenchmarkTable1$$|BenchmarkSimulator$$|BenchmarkStallHeavy$$|BenchmarkStallHeavyRef$$|BenchmarkMergeSelect$$|BenchmarkMergeSelectRef$$|BenchmarkStoreColdSweep$$|BenchmarkStoreWarmSweep$$
 
-.PHONY: test golden golden-check bench-simcore bench-simcore-ci
+.PHONY: test check-allocs golden golden-check bench-simcore bench-simcore-ci
 
 test:
 	go build ./... && go test ./...
+
+# check-allocs is the allocation guard on the (instrumented) hot path:
+# the AllocsPerRun tests pinning the simulator's zero-allocs/cycle
+# invariant, the compiled selectors' zero-alloc selection and the
+# telemetry hot-path increments. bench-simcore depends on it so the
+# committed perf record can never be refreshed from a build whose
+# cycle loop has started allocating.
+check-allocs:
+	go test -run 'ZeroAllocs$$|AllocFree$$' ./internal/sim ./internal/merge ./internal/telemetry
 
 # golden regenerates the committed golden conformance corpus
 # (testdata/golden/corpus.json) from the current simulator — the
@@ -33,7 +42,7 @@ golden-check:
 # perf record (ns/op, allocs/op, cycles/s; see DESIGN.md). Run it on a
 # quiet machine when a PR touches the hot path, and commit the result so
 # the perf trajectory stays diffable.
-bench-simcore:
+bench-simcore: check-allocs
 	go test -run '^$$' -bench '$(SIMCORE_BENCHES)' -benchmem -benchtime 2s -count 1 . \
 		| tee /dev/stderr | go run ./cmd/benchjson > BENCH_simcore.json
 

@@ -18,11 +18,18 @@
 //	GET    /v1/sweeps/{id}/events  NDJSON progress stream
 //	DELETE /v1/sweeps/{id}         cancel
 //	GET    /healthz               liveness probe
+//	GET    /metrics               Prometheus text format (disable with -debug=false)
+//	GET    /debug/pprof/          net/http/pprof      (disable with -debug=false)
 //
 // All sweeps share one compile cache for the life of the process, and
 // results are bit-identical to an in-process run of the same grid and
 // seed at any worker count. SIGINT/SIGTERM drain the listener and
 // cancel in-flight sweeps.
+//
+// Structured tracing goes to stderr via log/slog: every sweep logs
+// span-style start/finish events tagged with its ID (-log-level debug
+// adds a line per job; -log-json switches to JSON lines for log
+// shippers).
 package main
 
 import (
@@ -38,20 +45,27 @@ import (
 	"time"
 
 	"vliwmt/internal/server"
+	"vliwmt/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vliwserve: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
-		workers = flag.Int("workers", 0, "default per-sweep worker pool size (0: runtime.NumCPU())")
-		results = flag.String("results", "", "directory for result persistence (empty: disabled)")
-		quiet   = flag.Bool("quiet", false, "suppress request and sweep lifecycle logging")
+		addr     = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		workers  = flag.Int("workers", 0, "default per-sweep worker pool size (0: runtime.NumCPU())")
+		results  = flag.String("results", "", "directory for result persistence (empty: disabled)")
+		quiet    = flag.Bool("quiet", false, "suppress request and sweep lifecycle logging")
+		debug    = flag.Bool("debug", true, "serve GET /metrics (Prometheus text format) and /debug/pprof/")
+		logLevel = flag.String("log-level", "info", "structured-trace level: debug, info, warn or error (debug adds a line per job)")
+		logJSON  = flag.Bool("log-json", false, "emit structured traces as JSON lines instead of text")
 	)
 	flag.Parse()
 
-	opts := server.Options{Workers: *workers, ResultDir: *results}
+	if _, err := telemetry.ConfigureSlog(os.Stderr, *logLevel, *logJSON); err != nil {
+		log.Fatal(err)
+	}
+	opts := server.Options{Workers: *workers, ResultDir: *results, DisableDebug: !*debug}
 	if !*quiet {
 		opts.Log = log.Default()
 	}

@@ -11,6 +11,8 @@
 //	vliwsweep -sharedseed -progress
 //	vliwsweep -store results/ -mixes LLHH      # persistent result store
 //	vliwsweep -addr localhost:8080 -mixes LLHH # same grid, remote vliwserve
+//	vliwsweep -stats -mixes LLHH               # lifecycle summary on stderr
+//	vliwsweep -log-level debug -log-json       # structured sweep tracing
 //
 // Every job derives its seed from -seed and its index, so output is
 // bit-identical at any -workers count; -sharedseed gives every job the
@@ -47,6 +49,7 @@ import (
 	"vliwmt/internal/profiling"
 	"vliwmt/internal/report"
 	"vliwmt/internal/sweep"
+	"vliwmt/internal/telemetry"
 )
 
 // row is one job's flattened result, shared by the JSON, CSV and text
@@ -121,6 +124,9 @@ func main() {
 		store      = flag.String("store", "", "persistent result store directory: serve repeated jobs from disk, persist fresh ones")
 		format     = flag.String("format", "text", "output format: text, json or csv")
 		progress   = flag.Bool("progress", false, "report per-job progress on stderr")
+		stats      = flag.Bool("stats", false, "print the sweep lifecycle summary (jobs, store hit ratio, p50/p99 job latency, jobs/s) on stderr")
+		logLevel   = flag.String("log-level", "", "enable structured sweep tracing on stderr at this level: debug, info, warn or error (empty: off; debug adds a line per job)")
+		logJSON    = flag.Bool("log-json", false, "emit structured traces as JSON lines instead of text (implies -log-level info)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
@@ -129,6 +135,15 @@ func main() {
 	case "text", "json", "csv":
 	default:
 		log.Fatalf("unknown -format %q (want text, json or csv)", *format)
+	}
+	if *logLevel != "" || *logJSON {
+		lv := *logLevel
+		if lv == "" {
+			lv = "info"
+		}
+		if _, err := telemetry.ConfigureSlog(os.Stderr, lv, *logJSON); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *addr != "" && *store != "" {
 		// The remote server owns its own store (vliwserve -results);
@@ -220,6 +235,13 @@ func main() {
 		report.Table(w, []string{"mix", "scheme", "threads", "IPC", "cycles", "time"}, tr)
 		fmt.Fprintf(w, "\n%d/%d jobs in %.2fs (workers=%d)\n",
 			len(rows), len(results), elapsed.Seconds(), sweep.PoolSize(*workers))
+	}
+	if *stats {
+		// The lifecycle summary goes to stderr so -format json/csv
+		// stdout stays machine-readable. Computed from the results
+		// either way, so it works for -addr sweeps too (cached jobs
+		// carry the replayed original elapsed times).
+		fmt.Fprintln(os.Stderr, vliwmt.SummarizeSweep(results, elapsed))
 	}
 	if err != nil {
 		fatal(err)

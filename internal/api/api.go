@@ -36,7 +36,11 @@ import (
 //	   merge scheme as a canonical tree expression
 //	3: results may carry a "cached" flag (served from the persistent
 //	   result store), sweep statuses a "cache_hits" count, and the
-//	   server a /v1/store document (StoreStatus)
+//	   server a /v1/store document (StoreStatus). Later additions
+//	   within 3 (all optional, omitted when empty, version-1-semantics
+//	   when absent, so no bump): sweep statuses may carry an "errors"
+//	   count and a terminal "summary" roll-up (SweepSummary), and
+//	   NDJSON events an "err" string for failed jobs
 const Version = 3
 
 // Machine is the wire form of isa.Machine.
@@ -422,6 +426,38 @@ func (r Result) Sweep() sweep.Result {
 		out.Res = &res
 	}
 	return out
+}
+
+// SummaryFrom converts a sweep lifecycle summary to its wire form; a
+// zero summary (no jobs) converts to nil so it is omitted from status
+// documents of empty or never-run sweeps.
+func SummaryFrom(s sweep.Summary) *SweepSummary {
+	if s.Jobs == 0 {
+		return nil
+	}
+	return &SweepSummary{
+		Jobs:          s.Jobs,
+		Errors:        s.Errors,
+		CacheHits:     s.CacheHits,
+		CacheHitRatio: s.CacheHitRatio(),
+		WallSec:       s.Wall.Seconds(),
+		P50Sec:        s.P50.Seconds(),
+		P99Sec:        s.P99.Seconds(),
+		JobsPerSec:    s.JobsPerSec,
+	}
+}
+
+// Summary converts the wire form back to an internal sweep summary.
+func (s SweepSummary) Summary() sweep.Summary {
+	return sweep.Summary{
+		Jobs:       s.Jobs,
+		Errors:     s.Errors,
+		CacheHits:  s.CacheHits,
+		Wall:       time.Duration(s.WallSec * float64(time.Second)),
+		P50:        time.Duration(s.P50Sec * float64(time.Second)),
+		P99:        time.Duration(s.P99Sec * float64(time.Second)),
+		JobsPerSec: s.JobsPerSec,
+	}
 }
 
 // ResultsFrom converts a result slice to its wire form.

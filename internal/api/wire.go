@@ -42,16 +42,40 @@ type SweepRequest struct {
 // SweepStatus is the body of sweep submission and status responses.
 // Results are included once the sweep reaches a terminal state, ordered
 // by job index. CacheHits (wire version 3) counts the jobs served from
-// the persistent result store instead of being simulated.
+// the persistent result store instead of being simulated; Errors
+// counts jobs that finished with an error, so a client can see
+// failures without fetching the full result blob. Summary is the
+// lifecycle roll-up, attached once the sweep is terminal. Errors and
+// Summary are additive, omitted-when-empty fields within version 3: a
+// version-3 peer that predates them decodes documents carrying them
+// unchanged (unknown JSON fields are ignored) and emits documents
+// without them (absent means zero/none).
 type SweepStatus struct {
-	Version   int      `json:"version"`
-	ID        string   `json:"id"`
-	State     State    `json:"state"`
-	Done      int      `json:"done"`
-	Total     int      `json:"total"`
-	CacheHits int      `json:"cache_hits,omitempty"`
-	Results   []Result `json:"results,omitempty"`
-	Error     string   `json:"error,omitempty"`
+	Version   int           `json:"version"`
+	ID        string        `json:"id"`
+	State     State         `json:"state"`
+	Done      int           `json:"done"`
+	Total     int           `json:"total"`
+	CacheHits int           `json:"cache_hits,omitempty"`
+	Errors    int           `json:"errors,omitempty"`
+	Summary   *SweepSummary `json:"summary,omitempty"`
+	Results   []Result      `json:"results,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// SweepSummary is the wire form of sweep.Summary: the one-line
+// lifecycle roll-up of a finished sweep (job/error/store-hit counts,
+// per-job latency percentiles, throughput). Attached to terminal
+// SweepStatus documents and printed by vliwsweep -stats.
+type SweepSummary struct {
+	Jobs          int     `json:"jobs"`
+	Errors        int     `json:"errors,omitempty"`
+	CacheHits     int     `json:"cache_hits,omitempty"`
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	WallSec       float64 `json:"wall_sec,omitempty"`
+	P50Sec        float64 `json:"p50_sec,omitempty"`
+	P99Sec        float64 `json:"p99_sec,omitempty"`
+	JobsPerSec    float64 `json:"jobs_per_sec,omitempty"`
 }
 
 // StoreStatus is the body of GET /v1/store (wire version 3): the
@@ -68,11 +92,15 @@ type StoreStatus struct {
 
 // Event is one line of the NDJSON progress stream
 // (GET /v1/sweeps/{id}/events): a per-job completion event carries the
-// result; the final event carries the terminal State instead.
+// result; the final event carries the terminal State instead. Err
+// surfaces a failed job's error string at the event's top level, so a
+// stream consumer spots failures without digging into the result
+// document (it duplicates Result.Err; additive within version 3).
 type Event struct {
 	Done   int     `json:"done"`
 	Total  int     `json:"total"`
 	Result *Result `json:"result,omitempty"`
+	Err    string  `json:"err,omitempty"`
 	State  State   `json:"state,omitempty"`
 }
 

@@ -1,0 +1,28 @@
+package resultstore
+
+import "vliwmt/internal/telemetry"
+
+// Process-wide store instruments. Unlike Stats (per-handle counters,
+// used by GET /v1/store), these aggregate every handle in the process
+// — which is what a scrape wants: "is the disk cache working", not
+// "whose handle is it".
+var (
+	metHits = telemetry.NewCounter("store_hits_total",
+		"Store probes served from disk.")
+	metMisses = telemetry.NewCounter("store_misses_total",
+		"Store probes that fell through to simulation (including read failures).")
+	metReadFailures = telemetry.NewCounter("store_read_failures_total",
+		"Store probes that found an entry but could not use it (torn, corrupt, schema or key mismatch); always also counted as misses.")
+	metPuts = telemetry.NewCounter("store_puts_total",
+		"Entries written.")
+	metBytesRead = telemetry.NewCounter("store_bytes_read_total",
+		"Entry bytes read by probes (hits only; failed reads count what was read).")
+	metBytesWritten = telemetry.NewCounter("store_bytes_written_total",
+		"Entry bytes written by puts.")
+	metProbeDuration = telemetry.NewHistogram("store_probe_duration_seconds",
+		"Wall-clock Get latency, hits and misses alike.",
+		telemetry.ProbeBuckets)
+	metEntryBytes = telemetry.NewHistogram("store_entry_bytes",
+		"Size distribution of entries written.",
+		telemetry.SizeBuckets)
+)

@@ -1,0 +1,65 @@
+package resultstore
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"vliwmt/internal/telemetry"
+)
+
+// TestStoreTelemetry drives one entry through the full probe
+// lifecycle — cold miss, put, warm hit, corrupt read-failure — and
+// checks each process-wide instrument moved accordingly. Read
+// failures must count as both a failure and a miss: to a scrape they
+// are cache misses first, data-integrity events second.
+func TestStoreTelemetry(t *testing.T) {
+	s := Open(t.TempDir())
+	j := baseJob()
+	before := telemetry.Default().Snapshot()
+	delta := func(after telemetry.Snapshot, name string) int64 {
+		return after.Counter(name) - before.Counter(name)
+	}
+
+	if _, _, ok := s.Get(j); ok {
+		t.Fatal("empty store claims a hit")
+	}
+	mustPut(t, s, j, fakeResult(1), time.Second)
+	if _, _, ok := s.Get(j); !ok {
+		t.Fatal("stored entry not served back")
+	}
+	if err := os.WriteFile(entryPath(t, s, j), []byte("\x00garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get(j); ok {
+		t.Fatal("corrupt entry was served")
+	}
+
+	after := telemetry.Default().Snapshot()
+	if d := delta(after, "store_hits_total"); d != 1 {
+		t.Errorf("store_hits_total moved by %d, want 1", d)
+	}
+	if d := delta(after, "store_misses_total"); d != 2 {
+		t.Errorf("store_misses_total moved by %d, want 2 (cold probe + failed read)", d)
+	}
+	if d := delta(after, "store_read_failures_total"); d != 1 {
+		t.Errorf("store_read_failures_total moved by %d, want 1", d)
+	}
+	if d := delta(after, "store_puts_total"); d != 1 {
+		t.Errorf("store_puts_total moved by %d, want 1", d)
+	}
+	if d := delta(after, "store_bytes_written_total"); d <= 0 {
+		t.Errorf("store_bytes_written_total moved by %d, want > 0", d)
+	}
+	if d := delta(after, "store_bytes_read_total"); d <= 0 {
+		t.Errorf("store_bytes_read_total moved by %d, want > 0", d)
+	}
+	hb, ha := before.Histograms["store_probe_duration_seconds"], after.Histograms["store_probe_duration_seconds"]
+	if d := ha.Count - hb.Count; d != 3 {
+		t.Errorf("store_probe_duration_seconds observed %d probes, want 3", d)
+	}
+	eb, ea := before.Histograms["store_entry_bytes"], after.Histograms["store_entry_bytes"]
+	if d := ea.Count - eb.Count; d != 1 {
+		t.Errorf("store_entry_bytes observed %d entries, want 1", d)
+	}
+}

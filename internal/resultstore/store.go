@@ -82,42 +82,56 @@ func (s *Store) path(key string) string {
 }
 
 // readEntry loads and validates one entry file; any failure is (zero,
-// false).
-func readEntry(path, wantKey string) (entryFile, bool) {
+// false). The returned size is the bytes read off disk (nonzero even
+// for entries that then fail validation) and the failed flag
+// distinguishes "file existed but was unusable" — torn, corrupt,
+// schema- or key-mismatched — from a plain absence.
+func readEntry(path, wantKey string) (e entryFile, size int, failed, ok bool) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return entryFile{}, false
+		return entryFile{}, 0, !os.IsNotExist(err), false
 	}
-	var e entryFile
 	if err := json.Unmarshal(b, &e); err != nil {
-		return entryFile{}, false
+		return entryFile{}, len(b), true, false
 	}
 	if e.Schema != SchemaVersion || (wantKey != "" && e.Key != wantKey) {
-		return entryFile{}, false
+		return entryFile{}, len(b), true, false
 	}
-	return e, true
+	return e, len(b), false, true
 }
 
 // Get returns the stored result for the job, with the wall-clock time
 // the original simulation took (replayed so a warm sweep reports the
 // same elapsed column as the cold one). Any failure — unkeyable job,
-// missing, torn, corrupt or schema-mismatched entry — is a miss.
+// missing, torn, corrupt or schema-mismatched entry — is a miss; the
+// unusable-entry cases additionally count as read failures on the
+// store_read_failures_total instrument, so a corrupted store shows up
+// on a scrape instead of masquerading as a cold one.
 func (s *Store) Get(j sweep.Job) (*sim.Result, time.Duration, bool) {
 	if s == nil || s.dir == "" {
 		return nil, 0, false
 	}
+	start := time.Now()
+	defer func() { metProbeDuration.Observe(time.Since(start).Seconds()) }()
 	key, err := Key(j)
 	if err != nil {
 		s.misses.Add(1)
+		metMisses.Inc()
 		return nil, 0, false
 	}
-	e, ok := readEntry(s.path(key), key)
+	e, size, failed, ok := readEntry(s.path(key), key)
+	metBytesRead.Add(int64(size))
 	if !ok {
+		if failed {
+			metReadFailures.Inc()
+		}
 		s.misses.Add(1)
+		metMisses.Inc()
 		return nil, 0, false
 	}
 	res := e.Sim.Sim()
 	s.hits.Add(1)
+	metHits.Inc()
 	return &res, time.Duration(e.ElapsedNS), true
 }
 
@@ -167,6 +181,9 @@ func (s *Store) Put(j sweep.Job, res *sim.Result, elapsed time.Duration) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	s.puts.Add(1)
+	metPuts.Inc()
+	metBytesWritten.Add(int64(len(b) + 1))
+	metEntryBytes.Observe(float64(len(b) + 1))
 	return nil
 }
 

@@ -34,12 +34,15 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"vliwmt"
 	"vliwmt/internal/api"
 	"vliwmt/internal/sweep"
+	"vliwmt/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -54,6 +57,11 @@ type Options struct {
 	ResultDir string
 	// Log receives request and sweep lifecycle lines; nil disables.
 	Log *log.Logger
+	// DisableDebug removes the observability endpoints — GET /metrics
+	// (Prometheus text format) and /debug/pprof/ — from the handler.
+	// They are on by default: both are read-only, and a sweep server
+	// without "what is it doing right now" answers is undebuggable.
+	DisableDebug bool
 }
 
 // Server owns the sweep runs, the shared compile cache and the shared
@@ -91,21 +99,40 @@ func New(opts Options) *Server {
 // Close cancels every in-flight sweep.
 func (s *Server) Close() { s.cancel() }
 
-// Handler returns the HTTP handler serving the v1 API.
+// Handler returns the HTTP handler serving the v1 API, plus (unless
+// Options.DisableDebug) the observability endpoints: GET /metrics in
+// Prometheus text format over the process-wide telemetry registry, and
+// the standard net/http/pprof handlers under /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", instrumented("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	mux.HandleFunc("GET /v1/sweeps", s.handleList)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
-	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/store", s.handleStoreStatus)
-	mux.HandleFunc("DELETE /v1/store", s.handleStoreClear)
+	}))
+	mux.HandleFunc("POST /v1/sweeps", instrumented("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/sweeps", instrumented("list", s.handleList))
+	mux.HandleFunc("GET /v1/sweeps/{id}", instrumented("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", instrumented("events", s.handleEvents))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", instrumented("cancel", s.handleCancel))
+	mux.HandleFunc("GET /v1/store", instrumented("store_status", s.handleStoreStatus))
+	mux.HandleFunc("DELETE /v1/store", instrumented("store_clear", s.handleStoreClear))
+	if !s.opts.DisableDebug {
+		mux.HandleFunc("GET /metrics", instrumented("metrics", handleMetrics))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics renders the process-wide telemetry registry in the
+// Prometheus text exposition format: sweep, store, simulator and
+// server instruments in one scrape.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.Default().WritePrometheus(w)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -118,14 +145,17 @@ func (s *Server) logf(format string, args ...any) {
 // and live event subscribers. Progress callbacks are serialised by the
 // engine; everything shared is guarded by mu.
 type run struct {
-	id     string
-	total  int
-	cancel context.CancelFunc
+	id      string
+	total   int
+	started time.Time
+	cancel  context.CancelFunc
 
 	mu        sync.Mutex
 	state     api.State
 	done      int
 	cacheHits int
+	errs      int
+	summary   *api.SweepSummary // set once terminal
 	events    []api.Event
 	subs      map[chan api.Event]struct{}
 	results   []sweep.Result
@@ -134,31 +164,36 @@ type run struct {
 
 func newRun(id string, total int, cancel context.CancelFunc) *run {
 	return &run{
-		id:     id,
-		total:  total,
-		cancel: cancel,
-		state:  api.StateRunning,
-		subs:   map[chan api.Event]struct{}{},
+		id:      id,
+		total:   total,
+		started: time.Now(),
+		cancel:  cancel,
+		state:   api.StateRunning,
+		subs:    map[chan api.Event]struct{}{},
 	}
 }
 
 // broadcast appends ev to the replay log and fans it out. Subscriber
 // channels are sized to hold every possible event, so sends never block
-// the engine; the default arm is pure defence.
+// the engine; the default arm is pure defence (its drops are counted,
+// so "should never happen" is a checkable claim on /metrics).
 func (r *run) broadcast(ev api.Event) {
 	r.events = append(r.events, ev)
 	for ch := range r.subs {
 		select {
 		case ch <- ev:
+			metEventsEmitted.Inc()
 		default:
+			metEventsDropped.Inc()
 		}
 	}
 }
 
-// progress is the Runner's progress sink. Cache hits are counted here
-// so the accounting covers every served-from-store job, streamed or
-// not: the event's result carries the per-job "cached" flag and the
-// status document aggregates them.
+// progress is the Runner's progress sink. Cache hits and errors are
+// counted here so the accounting covers every job, streamed or not:
+// the event's result carries the per-job "cached" flag and error
+// string (also lifted to the event's top-level "err" so stream
+// consumers need not dig), and the status document aggregates both.
 func (r *run) progress(done, total int, res sweep.Result) {
 	ar := api.ResultFrom(res)
 	r.mu.Lock()
@@ -167,18 +202,24 @@ func (r *run) progress(done, total int, res sweep.Result) {
 	if res.Cached {
 		r.cacheHits++
 	}
-	r.broadcast(api.Event{Done: done, Total: total, Result: &ar})
+	if res.Err != nil {
+		r.errs++
+	}
+	r.broadcast(api.Event{Done: done, Total: total, Result: &ar, Err: ar.Err})
 }
 
-// finish records the terminal state and emits the final event. The
-// per-job replay log is dropped at that point — the status document
-// already carries the full ordered results, so a subscriber arriving
-// after completion just gets the terminal event and fetches those.
+// finish records the terminal state, computes the lifecycle summary
+// and emits the final event. The per-job replay log is dropped at that
+// point — the status document already carries the full ordered
+// results, so a subscriber arriving after completion just gets the
+// terminal event and fetches those.
 func (r *run) finish(results []sweep.Result, err error) {
+	summary := api.SummaryFrom(sweep.Summarize(results, time.Since(r.started)))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.results = results
 	r.err = err
+	r.summary = summary
 	switch {
 	case err == nil:
 		r.state = api.StateDone
@@ -229,8 +270,10 @@ func (r *run) status(withResults bool) api.SweepStatus {
 		Done:      r.done,
 		Total:     r.total,
 		CacheHits: r.cacheHits,
+		Errors:    r.errs,
 	}
 	if r.state.Terminal() {
+		st.Summary = r.summary
 		if withResults {
 			st.Results = api.ResultsFrom(r.results)
 		}
@@ -278,9 +321,14 @@ func (s *Server) register(total int, cancel context.CancelFunc) *run {
 // execute runs the job set on a per-sweep Runner sharing the server's
 // compile cache, then records the terminal state. It releases the
 // run's context on return so finished sweeps don't stay registered as
-// children of the server context.
+// children of the server context. The run's ID rides the context as
+// the telemetry sweep ID, so the engine's span events (and anything
+// below them) are attributable to this submission.
 func (s *Server) execute(ctx context.Context, ru *run, jobs []sweep.Job, workers int) {
 	defer ru.cancel()
+	metActiveSweeps.Add(1)
+	defer metActiveSweeps.Add(-1)
+	ctx = telemetry.WithSweepID(ctx, ru.id)
 	runner := vliwmt.NewRunner(
 		vliwmt.WithWorkers(workers),
 		vliwmt.WithCache(s.cache),
@@ -290,7 +338,7 @@ func (s *Server) execute(ctx context.Context, ru *run, jobs []sweep.Job, workers
 	results, err := runner.SweepJobs(ctx, jobs)
 	ru.finish(results, err)
 	st := ru.status(false)
-	s.logf("sweep %s: %s (%d/%d jobs, %d from store)", ru.id, st.State, st.Done, st.Total, st.CacheHits)
+	s.logf("sweep %s: %s (%d/%d jobs, %d from store, %d errors)", ru.id, st.State, st.Done, st.Total, st.CacheHits, st.Errors)
 }
 
 // handleStoreStatus reports the shared result store: entries on disk
@@ -409,6 +457,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithCancel(base)
 	ru := s.register(len(jobs), cancel)
+	metSweepsSubmitted.Inc()
 	s.logf("sweep %s: submitted, %d jobs (workers=%d, wait=%v)", ru.id, len(jobs), workers, wait)
 
 	if wait {

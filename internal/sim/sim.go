@@ -191,6 +191,11 @@ type core struct {
 	cands []isa.Occupancy
 	ports []int
 	res   *Result
+	// ffSpans/ffCycles count stall fast-forward jumps and the cycles
+	// they skipped. Plain fields bumped inside the loop, flushed to the
+	// process-wide telemetry counters once, in finalize — per-run
+	// aggregation keeps the hot path free of atomics and allocations.
+	ffSpans, ffCycles int64
 }
 
 // schedule returns running tasks to the pool, then draws random
@@ -399,6 +404,7 @@ func (c *core) finalize(cycle int64, finished bool) *Result {
 	if c.dc != nil {
 		res.DCache = c.dc.Stats
 	}
+	recordRunMetrics(res, c.ffSpans, c.ffCycles)
 	return res
 }
 
@@ -439,6 +445,8 @@ func (c *core) runSingle() (*Result, error) {
 			span := c.nextEvent(cycle) - cycle
 			res.MergeHist[0] += span
 			res.EmptyCycles += span
+			c.ffSpans++
+			c.ffCycles += span
 			cycle += span - 1
 			continue
 		}
@@ -521,6 +529,8 @@ func (c *core) run() (*Result, error) {
 			span := c.nextEvent(cycle) - cycle
 			res.MergeHist[0] += span
 			res.EmptyCycles += span
+			c.ffSpans++
+			c.ffCycles += span
 			cycle += span - 1
 			continue
 		}

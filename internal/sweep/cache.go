@@ -65,6 +65,9 @@ func (c *CompileCache) Get(bench string, m isa.Machine) (*program.Program, error
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
+		metCompileHits.Inc()
+	} else {
+		metCompileMisses.Inc()
 	}
 	e.once.Do(func() {
 		c.compiles.Add(1)

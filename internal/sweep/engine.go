@@ -4,16 +4,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vliwmt/internal/sim"
+	"vliwmt/internal/telemetry"
 )
 
 // ProgressFunc observes sweep progress: done jobs out of total, plus the
 // result that just completed. The engine serialises calls, so the
 // callback needs no locking of its own.
+//
+// Contract: the callback MUST NOT block. It runs on a worker goroutine
+// under the engine's completion mutex, so while it executes no other
+// job can report completion — a slow callback stretches the sweep's
+// wall-clock and a callback that never returns (waiting on something
+// that itself waits for sweep progress) deadlocks the pool. Hand
+// long-running work to another goroutine; the server's NDJSON
+// broadcaster, for example, only appends to a log and performs
+// non-blocking channel sends. Completion order as seen by the callback
+// is always monotonic: done increments by exactly one per call.
 type ProgressFunc func(done, total int, r Result)
 
 // ResultStore caches completed job results across sweeps (and, for a
@@ -91,6 +104,14 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, sweepID := telemetry.EnsureSweepID(ctx)
+	logger := telemetry.TraceLogger().With("sweep", sweepID)
+	perJob := logger.Enabled(ctx, slog.LevelDebug)
+	start := time.Now()
+	logger.Info("sweep start", "jobs", len(jobs), "workers", e.workers)
+	metSweepsStarted.Inc()
+	metQueueDepth.Add(int64(len(jobs)))
+
 	results := make([]Result, len(jobs))
 	for i := range jobs {
 		results[i] = Result{Index: i, Job: jobs[i]}
@@ -109,9 +130,10 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}()
 
 	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex // serialises progress callbacks and the done count
-		done int
+		wg        sync.WaitGroup
+		mu        sync.Mutex // serialises progress callbacks and the done count
+		done      int
+		processed atomic.Int64 // jobs a worker finished, for queue-depth accounting
 	)
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
@@ -120,21 +142,45 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			for i := range idxCh {
 				if err := ctx.Err(); err != nil {
 					results[i].Err = err
+					metJobsErrored.Inc()
+					metQueueDepth.Add(-1)
+					processed.Add(1)
 					continue
 				}
+				metJobsStarted.Inc()
+				jobStart := time.Now()
 				if e.store != nil {
 					if res, elapsed, ok := e.store.Get(jobs[i]); ok {
 						results[i].Res, results[i].Elapsed, results[i].Cached = res, elapsed, true
 					}
 				}
 				if !results[i].Cached {
-					start := time.Now()
+					simStart := time.Now()
 					res, err := e.runJob(jobs[i])
 					results[i].Res, results[i].Err = res, err
-					results[i].Elapsed = time.Since(start)
+					results[i].Elapsed = time.Since(simStart)
 					if err == nil && e.store != nil {
 						_ = e.store.Put(jobs[i], res, results[i].Elapsed)
 					}
+				}
+				// The histogram observes actual processing time (probe +
+				// compile + simulate), not the replayed Elapsed a store hit
+				// carries — the metric answers "where does this sweep's time
+				// go", the Result answers "what did the simulation cost".
+				metJobDuration.Observe(time.Since(jobStart).Seconds())
+				if results[i].Err != nil {
+					metJobsErrored.Inc()
+				} else {
+					metJobsCompleted.Inc()
+				}
+				metQueueDepth.Add(-1)
+				processed.Add(1)
+				if perJob {
+					logger.Debug("job done",
+						"index", i, "job", jobs[i].Describe(),
+						"cached", results[i].Cached,
+						"err", errString(results[i].Err),
+						"elapsed", time.Since(jobStart))
 				}
 				if e.progress != nil {
 					mu.Lock()
@@ -146,6 +192,9 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		}()
 	}
 	wg.Wait()
+	// Jobs the producer never handed to a worker (context cancelled
+	// before dispatch) still occupy the queue gauge; release them.
+	metQueueDepth.Add(processed.Load() - int64(len(jobs)))
 
 	var errs []error
 	if err := ctx.Err(); err != nil {
@@ -162,7 +211,19 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			errs = append(errs, fmt.Errorf("job %d (%s): %w", i, results[i].Job.Describe(), results[i].Err))
 		}
 	}
+	sum := Summarize(results, time.Since(start))
+	logger.Info("sweep finish",
+		"jobs", sum.Jobs, "errors", sum.Errors, "store_hits", sum.CacheHits,
+		"p50", sum.P50, "p99", sum.P99, "elapsed", sum.Wall, "jobs_per_sec", sum.JobsPerSec)
 	return results, errors.Join(errs...)
+}
+
+// errString flattens an error for log attributes; nil logs as "".
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // runJob compiles the job's benchmarks through the shared cache and

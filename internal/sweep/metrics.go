@@ -1,0 +1,27 @@
+package sweep
+
+import "vliwmt/internal/telemetry"
+
+// The engine's process-wide instruments. Counters are lifetime values
+// shared by every Engine (and therefore every Runner and the server);
+// per-sweep numbers come from Summarize and the server's status
+// documents, not from here.
+var (
+	metSweepsStarted = telemetry.NewCounter("sweep_runs_total",
+		"Sweeps started (Engine.Run calls).")
+	metJobsStarted = telemetry.NewCounter("sweep_jobs_started_total",
+		"Jobs handed to a worker.")
+	metJobsCompleted = telemetry.NewCounter("sweep_jobs_completed_total",
+		"Jobs finished without error (simulated or served from the store).")
+	metJobsErrored = telemetry.NewCounter("sweep_jobs_errored_total",
+		"Jobs finished with an error (including jobs skipped by cancellation).")
+	metQueueDepth = telemetry.NewGauge("sweep_queue_depth",
+		"Jobs submitted to running sweeps and not yet finished.")
+	metJobDuration = telemetry.NewHistogram("sweep_job_duration_seconds",
+		"Wall-clock job processing time (store probe + compile + simulate; a store hit observes the probe time, not the replayed original).",
+		telemetry.DurationBuckets)
+	metCompileHits = telemetry.NewCounter("sweep_compile_cache_hits_total",
+		"Compile-cache lookups served from memory.")
+	metCompileMisses = telemetry.NewCounter("sweep_compile_cache_misses_total",
+		"Compile-cache lookups that compiled the kernel.")
+)

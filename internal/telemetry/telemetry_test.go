@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "", "")
+	b := r.Counter("dup_total", "", "")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instrument")
+	}
+	la := r.Counter("dup_total", `route="x"`, "")
+	if la == a {
+		t.Fatal("a labeled series must be distinct from the unlabeled one")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dup_total", "", "")
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "", "", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Fatalf("sum = %g, want 5.555", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["test_latency_seconds"]
+	want := []int64{1, 1, 1, 1}
+	for i, n := range want {
+		if snap.Buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (buckets %v)", i, snap.Buckets[i], n, snap.Buckets)
+		}
+	}
+}
+
+// TestHistogramObserveAllocFree pins the hot-path constraint: an
+// Observe must never touch the heap (the engine observes per-job, the
+// store per-probe; both sit under alloc-sensitive sweeps).
+func TestHistogramObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc_test_seconds", "", "", DurationBuckets)
+	c := r.Counter("alloc_test_total", "", "")
+	g := r.Gauge("alloc_test_depth", "", "")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.042)
+		c.Inc()
+		g.Add(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe/Inc/Add allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "", "", []float64{1})
+	c := r.Counter("conc_total", "", "")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.5)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+	if want := 0.5 * workers * per; math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "", "Jobs processed.")
+	c.Add(3)
+	r.Counter("requests_total", `route="submit"`, "Requests.").Add(2)
+	r.Counter("requests_total", `route="status"`, "Requests.").Inc()
+	g := r.Gauge("depth", "", "Queue depth.")
+	g.Set(9)
+	h := r.Histogram("lat_seconds", "", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		`requests_total{route="submit"} 2`,
+		`requests_total{route="status"} 1`,
+		"# TYPE depth gauge",
+		"depth 9",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 2.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with several series.
+	if n := strings.Count(out, "# TYPE requests_total"); n != 1 {
+		t.Errorf("requests_total family has %d TYPE headers, want 1", n)
+	}
+}
+
+func TestSnapshotCounterSumsLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fam_total", `route="a"`, "").Add(2)
+	r.Counter("fam_total", `route="b"`, "").Add(3)
+	r.Counter("fam_totalx", "", "").Add(100) // prefix must not match
+	s := r.Snapshot()
+	if got := s.Counter("fam_total"); got != 5 {
+		t.Fatalf("Counter(fam_total) = %d, want 5", got)
+	}
+}
+
+func TestSweepIDPropagation(t *testing.T) {
+	ctx := context.Background()
+	if id := SweepIDFrom(ctx); id != "" {
+		t.Fatalf("empty context has ID %q", id)
+	}
+	ctx2, id := EnsureSweepID(ctx)
+	if id == "" || SweepIDFrom(ctx2) != id {
+		t.Fatalf("EnsureSweepID: id=%q, from ctx=%q", id, SweepIDFrom(ctx2))
+	}
+	ctx3, id3 := EnsureSweepID(WithSweepID(ctx, "s000042"))
+	if id3 != "s000042" || SweepIDFrom(ctx3) != "s000042" {
+		t.Fatalf("explicit ID not preserved: %q", id3)
+	}
+}
+
+func TestConfigureSlog(t *testing.T) {
+	old := slog.Default()
+	defer slog.SetDefault(old)
+
+	var buf bytes.Buffer
+	lv, err := ConfigureSlog(&buf, "debug", false)
+	if err != nil || lv != slog.LevelDebug {
+		t.Fatalf("ConfigureSlog(debug) = %v, %v", lv, err)
+	}
+	slog.Debug("hello", "sweep", "s1")
+	if !strings.Contains(buf.String(), "hello") || !strings.Contains(buf.String(), "sweep=s1") {
+		t.Fatalf("debug line not emitted: %q", buf.String())
+	}
+
+	buf.Reset()
+	if _, err := ConfigureSlog(&buf, "warn", true); err != nil {
+		t.Fatal(err)
+	}
+	slog.Info("dropped")
+	slog.Warn("kept", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("info line emitted at warn level: %q", out)
+	}
+	if !strings.Contains(out, `"msg":"kept"`) {
+		t.Fatalf("JSON handler not installed: %q", out)
+	}
+
+	if _, err := ParseLevel("nope"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}

@@ -1,0 +1,207 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic) built entirely on
+// the standard library's go/ast and go/types.
+//
+// Why not x/tools? The main module's zero-external-dependency policy
+// is load-bearing (ROADMAP.md), and the analyzers the repo needs —
+// determinism purity, map-iteration ordering, hot-path allocation and
+// wire/telemetry hygiene — are whole-file syntactic+type checks that
+// the stdlib type checker serves fine. The API mirrors go/analysis
+// closely enough that the suite could be ported onto a multichecker
+// mechanically if x/tools ever becomes a dependency.
+//
+// Suppression grammar: a finding is suppressed by the comment
+//
+//	//vliwvet:allow <analyzer> <reason>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The analyzer name must be one of the suite's and
+// the reason must be non-empty — a malformed allow directive is itself
+// reported (as analyzer "vliwvet"), so suppressions cannot silently
+// rot. See DESIGN.md "Statically enforced invariants".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name (used in diagnostics and allow
+// directives), a one-paragraph doc, and the run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one reported finding, before suppression filtering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a diagnostic that survived suppression, resolved to a
+// file position and stamped with its analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// AllowDirective is the parsed form of one //vliwvet:allow comment.
+type AllowDirective struct {
+	Pos      token.Pos
+	Analyzer string // "" when malformed
+	Reason   string
+	// Lines are the source lines the directive covers: its own line
+	// and the one below.
+	Lines [2]int
+	File  string
+}
+
+const allowPrefix = "//vliwvet:allow"
+
+// allowDirectives extracts every //vliwvet:allow directive from the
+// files, malformed ones included (Analyzer == "" or Reason == "").
+func allowDirectives(fset *token.FileSet, files []*ast.File) []AllowDirective {
+	var out []AllowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				pos := fset.Position(c.Pos())
+				d := AllowDirective{Pos: c.Pos(), File: pos.Filename, Lines: [2]int{pos.Line, pos.Line + 1}}
+				fields := strings.Fields(rest)
+				if len(fields) >= 1 {
+					d.Analyzer = fields[0]
+				}
+				if len(fields) >= 2 {
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Package is the unit of analysis: a parsed, type-checked package.
+// The loader (this package's load sub-package) produces them.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies every analyzer to every package, filters the diagnostics
+// through the //vliwvet:allow directives, and returns the surviving
+// findings sorted by position. Malformed directives (unknown analyzer
+// name, missing reason) are returned as findings of analyzer
+// "vliwvet" so they cannot silently disable a real check.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs := allowDirectives(pkg.Fset, pkg.Syntax)
+		// allowed[analyzer][file:line] reports a live suppression.
+		allowed := map[string]map[string]bool{}
+		for _, d := range dirs {
+			switch {
+			case d.Analyzer == "" || d.Reason == "":
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: "vliwvet",
+					Message:  fmt.Sprintf("malformed allow directive: want %q", allowPrefix+" <analyzer> <reason>"),
+				})
+			case !known[d.Analyzer]:
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: "vliwvet",
+					Message:  fmt.Sprintf("allow directive names unknown analyzer %q", d.Analyzer),
+				})
+			default:
+				m := allowed[d.Analyzer]
+				if m == nil {
+					m = map[string]bool{}
+					allowed[d.Analyzer] = m
+				}
+				for _, line := range d.Lines {
+					m[fmt.Sprintf("%s:%d", d.File, line)] = true
+				}
+			}
+		}
+
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				return findings, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range pass.diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if allowed[a.Name][fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] {
+					continue
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// MetricNameRE is the wire/telemetry identifier grammar enforced by
+// wiretag: Prometheus-conventional snake_case names and label keys.
+var MetricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)

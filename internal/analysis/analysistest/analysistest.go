@@ -1,0 +1,93 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// repo's stdlib-only framework.
+//
+// Expectations are trailing comments of the form
+//
+//	// want `regexp`
+//
+// on the line the diagnostic is reported at. Every reported diagnostic
+// must match a want on its line, and every want must be matched by
+// exactly one diagnostic. //vliwvet:allow suppression is applied
+// before matching, so a testdata line carrying an allow directive and
+// no want comment asserts the suppression path.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vliwmt/internal/analysis"
+	"vliwmt/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads dir as a package presented under pkgPath, applies the
+// analyzer (with allow-directive filtering), and reports mismatches
+// between diagnostics and want comments on t.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := load.Dir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("analysistest: bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &want{re: re})
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", shorten(key), w.re)
+			}
+		}
+	}
+}
+
+func shorten(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

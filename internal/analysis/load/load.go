@@ -1,0 +1,242 @@
+// Package load turns Go packages into type-checked analysis units
+// using only the standard library and the go command.
+//
+// Discovery and dependency resolution go through `go list -export`,
+// which compiles (or reuses from the build cache) the export data of
+// every dependency, standard library included; the analyzed packages
+// themselves are parsed and type-checked from source so analyzers see
+// syntax trees with full type information. Imports resolve through
+// go/importer's gc importer with a lookup function over the export
+// files go list reported — the same mechanism the compiler itself
+// uses, so type information is exact, works fully offline, and needs
+// no dependency beyond the toolchain already required to build the
+// repo.
+//
+// Only non-test files are analyzed (go list's GoFiles): the invariants
+// vliwvet enforces are production-code invariants, and tests routinely
+// use wall clocks and RNGs legitimately.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vliwmt/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -deps -export -json` for the patterns in dir
+// and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Export,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("load: go list: %w", err)
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths through the export files
+// `go list -export` reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, pkgPath string, files []string, imp types.Importer) (*analysis.Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		syntax = append(syntax, af)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: typecheck %s: %w", pkgPath, err)
+	}
+	return &analysis.Package{PkgPath: pkgPath, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}
+
+// Module loads every package the patterns match inside the module
+// rooted at dir, type-checked from source with imports resolved from
+// export data. Packages are returned in import-path order.
+func Module(dir string, patterns ...string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+
+	var pkgs []*analysis.Package
+	for _, p := range listed {
+		if p.Standard || p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := check(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// Dir loads the .go files of one directory as a package presented
+// under pkgPath — the analysistest entry point for testdata packages,
+// which live outside the module proper. The directory's files may
+// import anything the surrounding module's toolchain can list
+// (in practice: the standard library).
+func Dir(dir, pkgPath string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	// Collect the imports syntactically, then resolve their export
+	// data (with -deps, so transitive imports resolve too).
+	fset := token.NewFileSet()
+	scanFset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(scanFset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		for _, im := range af.Imports {
+			imports[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(moduleRoot(dir), paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return check(fset, pkgPath, files, exportImporter(fset, exports))
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod, falling back
+// to dir itself (go list then runs in whatever context dir provides).
+func moduleRoot(dir string) string {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,209 @@
+// Package detmap flags result-affecting iteration over maps in the
+// deterministic core. Go randomises map iteration order on purpose;
+// a range over a map whose body builds ordered state — appends to a
+// slice, accumulates order-sensitive numeric state, or emits output —
+// silently produces run-to-run different results, which is exactly
+// how index-ordered aggregation breaks.
+//
+// Flagged loop bodies:
+//
+//   - appends to a slice declared outside the loop — unless that
+//     slice is later passed to a sort function in the same function
+//     (the collect-then-sort idiom is the sanctioned fix)
+//   - compound assignment (+=, -=, *=, /=) into floating-point or
+//     complex state declared outside the loop. Integer accumulation
+//     is deliberately not flagged: int addition is commutative and
+//     associative, so iteration order cannot change the sum, while
+//     float rounding makes the same pattern order-sensitive.
+//   - output emission: fmt printing and io-style Write/WriteString
+//     calls
+//
+// The analyzer shares detpure's DeterministicPackages designation.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vliwmt/internal/analysis"
+	"vliwmt/internal/analysis/detpure"
+)
+
+// Analyzer is the detmap analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc:  "flag map iteration whose order can leak into results (slice writes, float accumulation, output)",
+	Run:  run,
+}
+
+// sortFuncs are the callees that establish a deterministic order over
+// a collected slice, clearing a slice-append finding.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if !detpure.DeterministicPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, fd, rs)
+		return true
+	})
+}
+
+// checkMapRange inspects one range-over-map body for order leaks.
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, fd, rs, n)
+		case *ast.CallExpr:
+			if emitsOutput(pass, n) {
+				pass.Reportf(n.Pos(),
+					"map iteration emits output in iteration order; sort the keys first")
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	// x = append(x, ...) into a slice declared outside the loop.
+	if as.Tok.String() == "=" || as.Tok.String() == ":=" {
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			obj := declaredOutside(pass, rs, as.Lhs[i])
+			if obj == nil {
+				continue
+			}
+			if sortedLater(pass, fd, rs, obj) {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"map iteration appends to %s in iteration order; sort the keys (or %s) before relying on order",
+				obj.Name(), obj.Name())
+		}
+		return
+	}
+	// Compound accumulation into float/complex state declared outside.
+	switch as.Tok.String() {
+	case "+=", "-=", "*=", "/=":
+		obj := declaredOutside(pass, rs, as.Lhs[0])
+		if obj == nil {
+			return
+		}
+		if b, ok := obj.Type().Underlying().(*types.Basic); ok &&
+			b.Info()&(types.IsFloat|types.IsComplex) != 0 {
+			pass.Reportf(as.Pos(),
+				"map iteration accumulates into %s %s in iteration order; float rounding makes the result order-sensitive",
+				b.Name(), obj.Name())
+		}
+	}
+}
+
+// declaredOutside resolves an lvalue to a variable declared before the
+// range statement (nil when the lvalue is not a plain identifier or is
+// loop-local).
+func declaredOutside(pass *analysis.Pass, rs *ast.RangeStmt, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || obj.Pos() >= rs.Pos() {
+		return nil
+	}
+	return obj
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// sortedLater reports whether obj is passed to a sort function after
+// the range statement, anywhere in the enclosing function.
+func sortedLater(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.TypesInfo.Uses[sel.Sel]
+		if fn == nil || fn.Pkg() == nil || !sortFuncs[fn.Pkg().Path()][fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// emitsOutput reports whether the call prints or writes.
+func emitsOutput(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if fn := pass.TypesInfo.Uses[sel.Sel]; fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	// io-style writers: any method named Write/WriteString/WriteByte.
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"vliwmt/internal/analysis/analysistest"
+	"vliwmt/internal/analysis/detmap"
+)
+
+// TestDetmap covers the true positives (unsorted key collection, float
+// accumulation, output emission), the collect-then-sort idiom, the
+// int-accumulation non-finding, and the //vliwvet:allow suppression
+// path.
+func TestDetmap(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detmap", "vliwmt/internal/merge", detmap.Analyzer)
+}

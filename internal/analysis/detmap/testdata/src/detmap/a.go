@@ -1,0 +1,71 @@
+// Package detmap_testdata exercises the detmap analyzer under a
+// designated deterministic package path.
+package detmap_testdata
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// UnsortedKeys leaks map order into a slice.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration appends to keys in iteration order`
+	}
+	return keys
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom: the append is
+// cleared because keys is sorted before use.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FloatSum accumulates floats in iteration order.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `map iteration accumulates into float64 sum`
+	}
+	return sum
+}
+
+// IntSum is deliberately fine: integer addition is order-independent.
+func IntSum(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Print emits output in iteration order.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration emits output in iteration order`
+	}
+}
+
+// WriteOut writes in iteration order.
+func WriteOut(w io.Writer, m map[string]string) {
+	for _, v := range m {
+		w.Write([]byte(v)) // want `map iteration emits output in iteration order`
+	}
+}
+
+// AllowedFloatSum documents an accepted order sensitivity with the
+// suppression directive; no diagnostic must survive.
+func AllowedFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //vliwvet:allow detmap tolerance-checked aggregate, order jitter below epsilon
+	}
+	return sum
+}

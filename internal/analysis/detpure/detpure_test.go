@@ -1,0 +1,35 @@
+package detpure_test
+
+import (
+	"testing"
+
+	"vliwmt/internal/analysis"
+	"vliwmt/internal/analysis/analysistest"
+	"vliwmt/internal/analysis/detpure"
+	"vliwmt/internal/analysis/load"
+)
+
+// TestDetpure runs the analyzer over the testdata package, presented
+// under a designated deterministic import path so the checks apply.
+// The testdata includes both true positives (want comments) and the
+// //vliwvet:allow suppression path (allowed lines carry no want).
+func TestDetpure(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detpure", "vliwmt/internal/sim", detpure.Analyzer)
+}
+
+// TestNonDesignatedPackageIsIgnored loads the same violating sources
+// under an import path outside the deterministic core: detpure must
+// report nothing.
+func TestNonDesignatedPackageIsIgnored(t *testing.T) {
+	pkg, err := load.Dir("testdata/src/detpure", "vliwmt/internal/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{detpure.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("detpure reported %d findings outside designated packages: %v", len(findings), findings)
+	}
+}

@@ -1,0 +1,47 @@
+// Package detpure_testdata exercises the detpure analyzer: it is
+// loaded by the analysistest harness under a designated deterministic
+// package path, so the wall-clock, RNG, environment and goroutine
+// reads below must be flagged — except the explicitly allowed ones.
+package detpure_testdata
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Elapsed reads the wall clock twice without justification.
+func Elapsed() time.Duration {
+	start := time.Now()      // want `wall-clock read \(time.Now\) in deterministic package`
+	return time.Since(start) // want `wall-clock read \(time.Since\) in deterministic package`
+}
+
+// AllowedElapsed reads the wall clock for telemetry, with the
+// line-scoped exemption the grammar provides.
+func AllowedElapsed() time.Duration {
+	start := time.Now() //vliwvet:allow detpure telemetry-only elapsed measurement
+	//vliwvet:allow detpure telemetry-only elapsed measurement
+	return time.Since(start)
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand source \(rand.Intn\)`
+}
+
+// SeededRand owns its generator; constructors are fine.
+func SeededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Env reads the process environment.
+func Env() string {
+	return os.Getenv("HOME") // want `environment read \(os.Getenv\)`
+}
+
+// Goroutines depends on scheduler state.
+func Goroutines() int {
+	return runtime.NumGoroutine() // want `goroutine-identity dependence \(runtime.NumGoroutine\)`
+}

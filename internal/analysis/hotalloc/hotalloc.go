@@ -1,0 +1,328 @@
+// Package hotalloc statically polices the zero-alloc contract of
+// functions annotated //vliw:hotpath — the simulator cycle loop, the
+// compiled merge selectors, the isa merge primitives, the telemetry
+// increments and the result-store probe. The dynamic backstop is
+// `make check-allocs` (testing.AllocsPerRun); hotalloc catches the
+// same regressions file-by-file at lint time, before a benchmark run.
+//
+// Inside an annotated function it reports constructs the compiler
+// heap-allocates, or that allocate on every call:
+//
+//   - function literals that capture enclosing variables (escaping
+//     closures; non-capturing literals compile to static functions
+//     and are fine)
+//   - any fmt call (fmt boxes its operands)
+//   - non-constant string concatenation
+//   - conversions of concrete values to interface types, explicit or
+//     implicit (call arguments, assignments, returns)
+//   - append into a slice declared locally without capacity (a
+//     parameter, field or make-with-capacity destination is assumed
+//     preallocated by the caller/owner)
+//   - map/slice composite literals, make, new, and &T{...}
+//
+// The annotation is a doc-comment line. The marker deliberately is
+// not "//vliwvet:" — it documents the function's contract for human
+// readers first, and this analyzer merely enforces it.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vliwmt/internal/analysis"
+)
+
+// Marker annotates a hot-path function's doc comment.
+const Marker = "//vliw:hotpath"
+
+// Analyzer is the hotalloc analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid per-call heap allocation in functions annotated " + Marker,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	prealloc := preallocated(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := captured(pass, fd, n); capt != "" {
+				pass.Reportf(n.Pos(), "hot path: closure captures %s and allocates per call", capt)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fd, n, prealloc)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				pass.Reportf(n.Pos(), "hot path: string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path: &composite literal escapes to the heap")
+				}
+			}
+		case *ast.AssignStmt:
+			checkImplicitIfaceAssign(pass, n)
+		case *ast.ReturnStmt:
+			checkImplicitIfaceReturn(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// preallocated collects local slice variables initialised with a
+// capacity (make with an explicit cap, or make with a nonzero length).
+func preallocated(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				continue
+			}
+			withCap := len(call.Args) >= 3
+			if !withCap && len(call.Args) == 2 {
+				if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil {
+					withCap = tv.Value.String() != "0"
+				}
+			}
+			if !withCap {
+				continue
+			}
+			if lid, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := objOf(pass, lid); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// captured returns the name of a variable the literal captures from
+// its enclosing function ("" when it captures nothing).
+func captured(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (receiver,
+		// parameter or local) but outside the literal itself.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	// Explicit conversion to an interface type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at := pass.TypesInfo.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) && !isUntypedNil(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(), "hot path: conversion to interface %s allocates", tv.Type)
+			}
+		}
+		return
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "append":
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				checkAppend(pass, fd, call, prealloc)
+				return
+			}
+		case "make":
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "hot path: make allocates per call; hoist the buffer to per-run state")
+				return
+			}
+		case "new":
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				pass.Reportf(call.Pos(), "hot path: new allocates per call")
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn := pass.TypesInfo.Uses[fun.Sel]; fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "hot path: fmt.%s allocates (operands escape through ...any)", fn.Name())
+			return
+		}
+	}
+	checkImplicitIfaceArgs(pass, call)
+}
+
+// checkAppend flags appends whose destination slice is a local
+// variable declared without capacity.
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return // fields, slice expressions: assume owner preallocated
+	}
+	v, ok := objOf(pass, id).(*types.Var)
+	if !ok || v.IsField() || prealloc[v] {
+		return
+	}
+	// Flag only declarations inside the function body: parameters,
+	// receivers and package-level slices are the caller's/owner's
+	// responsibility (and the repo's per-run state pattern).
+	if v.Pos() <= fd.Body.Pos() || v.Pos() >= fd.Body.End() {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"hot path: append to %s, declared locally without capacity; preallocate with make(..., 0, n) or hoist to per-run state",
+		v.Name())
+}
+
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "hot path: map literal allocates per call")
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "hot path: slice literal allocates its backing array per call")
+	}
+}
+
+func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constant-folded concatenation is free
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkImplicitIfaceArgs flags concrete arguments passed to interface
+// parameters (the classic fmt-free boxing site).
+func checkImplicitIfaceArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(pass, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path: %s boxed into interface %s argument", at, pt)
+	}
+}
+
+func checkImplicitIfaceAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		lt := pass.TypesInfo.TypeOf(lhs)
+		rt := pass.TypesInfo.TypeOf(as.Rhs[i])
+		if lt == nil || rt == nil || !types.IsInterface(lt) || types.IsInterface(rt) || isUntypedNil(pass, as.Rhs[i]) {
+			continue
+		}
+		pass.Reportf(as.Rhs[i].Pos(), "hot path: %s boxed into interface %s", rt, lt)
+	}
+}
+
+func checkImplicitIfaceReturn(pass *analysis.Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt) {
+	sig, ok := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature)
+	if !ok || sig.Results() == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		rt := sig.Results().At(i).Type()
+		at := pass.TypesInfo.TypeOf(res)
+		if at == nil || !types.IsInterface(rt) || types.IsInterface(at) || isUntypedNil(pass, res) {
+			continue
+		}
+		pass.Reportf(res.Pos(), "hot path: %s boxed into interface %s return", at, rt)
+	}
+}

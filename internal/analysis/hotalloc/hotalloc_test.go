@@ -1,0 +1,17 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"vliwmt/internal/analysis/analysistest"
+	"vliwmt/internal/analysis/hotalloc"
+)
+
+// TestHotalloc covers every flagged construct, the clean counterparts
+// (preallocated make, field appends, capture-free literals), the
+// unannotated-function non-finding and the //vliwvet:allow path.
+// hotalloc is not package-gated, so the testdata import path is
+// arbitrary.
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotalloc", "vliwmt/internal/testdata/hotalloc", hotalloc.Analyzer)
+}

@@ -1,0 +1,71 @@
+// Package hotalloc_testdata exercises the hotalloc analyzer. Only
+// functions annotated //vliw:hotpath are checked.
+package hotalloc_testdata
+
+import "fmt"
+
+// Sink keeps values alive without fmt.
+var Sink any
+
+// state mimics the simulator's per-run core: preallocated buffers the
+// hot loop reuses.
+type state struct {
+	buf  []int
+	name string
+}
+
+//vliw:hotpath
+func HotViolations(s *state, n int, label string) {
+	f := func() int { return n } // want `closure captures n`
+	_ = f()
+
+	fmt.Println(n) // want `fmt.Println allocates`
+
+	s.name = label + "!" // want `string concatenation allocates`
+
+	var local []int
+	local = append(local, n) // want `append to local, declared locally without capacity`
+	_ = local
+
+	m := map[int]int{} // want `map literal allocates per call`
+	_ = m
+
+	sl := []int{1, 2, 3} // want `slice literal allocates its backing array per call`
+	_ = sl
+
+	b := make([]byte, n) // want `make allocates per call`
+	_ = b
+
+	p := new(int) // want `new allocates per call`
+	_ = p
+
+	q := &state{} // want `&composite literal escapes to the heap`
+	_ = q
+
+	Sink = n // want `int boxed into interface`
+}
+
+//vliw:hotpath
+func HotClean(s *state, scratch []int, n int) int {
+	// Appends into per-run state (fields) or caller-owned buffers
+	// (parameters), and capture-free literals, are all fine.
+	s.buf = append(s.buf, n)
+	scratch = append(scratch, n)
+	g := func() int { return 0 } // no capture: static function
+	total := scratch[len(scratch)-1]
+	for _, v := range s.buf {
+		total += v
+	}
+	return total + g()
+}
+
+//vliw:hotpath
+func HotAllowed(n int) {
+	//vliwvet:allow hotalloc cold error path, executes at most once per run
+	fmt.Println(n)
+}
+
+// Cold is unannotated: nothing is checked.
+func Cold(n int) string {
+	return fmt.Sprintf("%d", n)
+}

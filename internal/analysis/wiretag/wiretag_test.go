@@ -1,0 +1,17 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"vliwmt/internal/analysis/analysistest"
+	"vliwmt/internal/analysis/wiretag"
+)
+
+// TestWiretag covers the DTO json-tag rule (tagged, untagged, waived),
+// metric-name constancy and grammar, the constant-key/dynamic-value
+// label idiom, the dynamic-key true positive and the //vliwvet:allow
+// suppression path. The testdata import path ends internal/api so the
+// DTO rule is active.
+func TestWiretag(t *testing.T) {
+	analysistest.Run(t, "testdata/src/wiretag", "vliwmt/internal/api", wiretag.Analyzer)
+}

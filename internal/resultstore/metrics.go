@@ -1,6 +1,10 @@
 package resultstore
 
-import "vliwmt/internal/telemetry"
+import (
+	"time"
+
+	"vliwmt/internal/telemetry"
+)
 
 // Process-wide store instruments. Unlike Stats (per-handle counters,
 // used by GET /v1/store), these aggregate every handle in the process
@@ -26,3 +30,13 @@ var (
 		"Size distribution of entries written.",
 		telemetry.SizeBuckets)
 )
+
+// observeProbe records one Get latency. A named function rather than
+// a closure so that deferring it from the probe hot path does not
+// allocate.
+//
+//vliw:hotpath
+func observeProbe(start time.Time) {
+	//vliwvet:allow detpure probe latency is telemetry, not simulation state
+	metProbeDuration.Observe(time.Since(start).Seconds())
+}

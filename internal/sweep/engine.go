@@ -107,6 +107,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	ctx, sweepID := telemetry.EnsureSweepID(ctx)
 	logger := telemetry.TraceLogger().With("sweep", sweepID)
 	perJob := logger.Enabled(ctx, slog.LevelDebug)
+	//vliwvet:allow detpure sweep wall time is reporting, not simulation state
 	start := time.Now()
 	logger.Info("sweep start", "jobs", len(jobs), "workers", e.workers)
 	metSweepsStarted.Inc()
@@ -148,6 +149,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 					continue
 				}
 				metJobsStarted.Inc()
+				//vliwvet:allow detpure job wall time feeds the duration histogram only
 				jobStart := time.Now()
 				if e.store != nil {
 					if res, elapsed, ok := e.store.Get(jobs[i]); ok {
@@ -155,9 +157,11 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 					}
 				}
 				if !results[i].Cached {
+					//vliwvet:allow detpure Elapsed is a wall-clock column, excluded from the determinism contract
 					simStart := time.Now()
 					res, err := e.runJob(jobs[i])
 					results[i].Res, results[i].Err = res, err
+					//vliwvet:allow detpure Elapsed is a wall-clock column, excluded from the determinism contract
 					results[i].Elapsed = time.Since(simStart)
 					if err == nil && e.store != nil {
 						_ = e.store.Put(jobs[i], res, results[i].Elapsed)
@@ -167,6 +171,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 				// compile + simulate), not the replayed Elapsed a store hit
 				// carries — the metric answers "where does this sweep's time
 				// go", the Result answers "what did the simulation cost".
+				//vliwvet:allow detpure job wall time feeds the duration histogram only
 				metJobDuration.Observe(time.Since(jobStart).Seconds())
 				if results[i].Err != nil {
 					metJobsErrored.Inc()
@@ -180,6 +185,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 						"index", i, "job", jobs[i].Describe(),
 						"cached", results[i].Cached,
 						"err", errString(results[i].Err),
+						//vliwvet:allow detpure trace attribute, not simulation state
 						"elapsed", time.Since(jobStart))
 				}
 				if e.progress != nil {
@@ -211,6 +217,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 			errs = append(errs, fmt.Errorf("job %d (%s): %w", i, results[i].Job.Describe(), results[i].Err))
 		}
 	}
+	//vliwvet:allow detpure sweep wall time is reporting, not simulation state
 	sum := Summarize(results, time.Since(start))
 	logger.Info("sweep finish",
 		"jobs", sum.Jobs, "errors", sum.Errors, "store_hits", sum.CacheHits,

@@ -7,6 +7,8 @@ package isa
 
 // UsedClusters returns the cluster bitmask of o (bit c set when cluster
 // c issues at least one operation) without copying the occupancy.
+//
+//vliw:hotpath
 func UsedClusters(o *Occupancy) uint8 {
 	var m uint8
 	for c := range o.Clusters {
@@ -19,6 +21,8 @@ func UsedClusters(o *Occupancy) uint8 {
 
 // Accumulate adds src into dst in place (the in-place form of Union).
 // Callers must have verified compatibility first.
+//
+//vliw:hotpath
 func (o *Occupancy) Accumulate(src *Occupancy) {
 	for c := range o.Clusters {
 		o.Clusters[c].Total += src.Clusters[c].Total
@@ -32,6 +36,8 @@ func (o *Occupancy) Accumulate(src *Occupancy) {
 // AccumSMT merges src into dst at operation level on machine m when the
 // two are SMT-compatible, reporting whether the merge happened. It is
 // exactly CompatSMT followed by Union, without copying either occupancy.
+//
+//vliw:hotpath
 func AccumSMT(dst, src *Occupancy, m *Machine) bool {
 	for c := 0; c < m.Clusters; c++ {
 		ua, ub := &dst.Clusters[c], &src.Clusters[c]
@@ -62,6 +68,8 @@ func AccumSMT(dst, src *Occupancy, m *Machine) bool {
 // AccumCSMT merges src into dst at cluster level when their cluster
 // sets are disjoint, reporting whether the merge happened. It is exactly
 // CompatCSMT followed by Union, without copying either occupancy.
+//
+//vliw:hotpath
 func AccumCSMT(dst, src *Occupancy) bool {
 	if UsedClusters(dst)&UsedClusters(src) != 0 {
 		return false

@@ -163,6 +163,8 @@ func (c *Compiled) Ports() int { return c.tree.Ports() }
 func (c *Compiled) Tree() *Tree { return c.tree }
 
 // Select implements Selector.
+//
+//vliw:hotpath
 func (c *Compiled) Select(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
 	switch c.kind {
 	case evalFoldSMT:
@@ -175,6 +177,7 @@ func (c *Compiled) Select(m *isa.Machine, cands []isa.Occupancy, valid uint32) S
 	return c.selectStack(m, cands, valid)
 }
 
+//vliw:hotpath
 func (c *Compiled) selectFoldSMT(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
 	var acc Selection
 	for i := range c.steps {
@@ -194,6 +197,7 @@ func (c *Compiled) selectFoldSMT(m *isa.Machine, cands []isa.Occupancy, valid ui
 	return acc
 }
 
+//vliw:hotpath
 func (c *Compiled) selectFoldCSMT(cands []isa.Occupancy, valid uint32) Selection {
 	var acc Selection
 	var used uint8
@@ -218,6 +222,7 @@ func (c *Compiled) selectFoldCSMT(cands []isa.Occupancy, valid uint32) Selection
 	return acc
 }
 
+//vliw:hotpath
 func (c *Compiled) selectFoldMixed(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
 	var acc Selection
 	var used uint8 // cluster mask of acc, maintained incrementally
@@ -248,6 +253,7 @@ func (c *Compiled) selectFoldMixed(m *isa.Machine, cands []isa.Occupancy, valid 
 	return acc
 }
 
+//vliw:hotpath
 func (c *Compiled) selectStack(m *isa.Machine, cands []isa.Occupancy, valid uint32) Selection {
 	st := c.stack
 	cm := c.masks // cluster mask per stack entry, maintained incrementally

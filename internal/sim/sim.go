@@ -210,6 +210,8 @@ type core struct {
 // reproducibility across versions and the refsim differential oracle.
 // The pool holds at most len(tasks) entries and schedule runs once per
 // 1M-cycle timeslice, so the O(n) delete is irrelevant to throughput.
+//
+//vliw:hotpath
 func (c *core) schedule() {
 	for ctx, ti := range c.running {
 		if ti >= 0 && !c.states[ti].done {
@@ -230,6 +232,8 @@ func (c *core) schedule() {
 // boundary when descheduled tasks exist, or MaxCycles. Between now and
 // that cycle every context stays candidate-free, so the run's state
 // cannot change — the fast-forward invariant DESIGN.md spells out.
+//
+//vliw:hotpath
 func (c *core) nextEvent(now int64) int64 {
 	next := c.cfg.MaxCycles
 	if len(c.states) > c.cfg.Contexts {
@@ -356,6 +360,8 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 // retireOne retires the current instruction of st at cycle, updating
 // run totals and the thread's stall clock, and reports whether the
 // thread hit its instruction budget (ending the run).
+//
+//vliw:hotpath
 func (c *core) retireOne(st *taskState, cycle int64) bool {
 	info := st.walker.Retire()
 	st.fetched = false
@@ -414,6 +420,8 @@ func (c *core) finalize(cycle int64, finished bool) *Result {
 // fetch, retire and stall fast-forward. It must stay bit-identical to
 // the generic loop — and therefore to the refsim oracle — for
 // Contexts == 1; the differential tests cover it.
+//
+//vliw:hotpath
 func (c *core) runSingle() (*Result, error) {
 	cfg, res := c.cfg, c.res
 	slicing := len(c.states) > 1
@@ -468,6 +476,8 @@ func (c *core) runSingle() (*Result, error) {
 // naive reference loop in internal/refsim — the invariants that make
 // the shortcuts sound are spelled out in DESIGN.md, and the refsim
 // differential tests enforce the equivalence.
+//
+//vliw:hotpath
 func (c *core) run() (*Result, error) {
 	if c.cfg.Contexts == 1 {
 		return c.runSingle()

@@ -50,9 +50,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//vliw:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be non-negative for exposition to make sense).
+//
+//vliw:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -64,9 +68,13 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//vliw:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the value by n (negative to decrease).
+//
+//vliw:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.
@@ -84,6 +92,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//vliw:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -1,0 +1,60 @@
+// Command vliwvet runs the repository's custom static analyzers over
+// the module and reports violations of the invariants the simulator
+// depends on: determinism of the simulation packages (detpure,
+// detmap), the zero-allocation contract of //vliw:hotpath functions
+// (hotalloc), and wire/telemetry hygiene (wiretag).
+//
+// Usage:
+//
+//	vliwvet                    # analyze every package in the module
+//	vliwvet ./internal/sim     # analyze specific patterns
+//	vliwvet -dir /path/to/repo ./...
+//	vliwvet -list              # print the analyzer suite and exit
+//
+// Findings print one per line as file:line:col: [analyzer] message.
+// The exit status is 1 when any finding is reported, 2 on load or
+// internal errors, 0 otherwise — so `vliwvet ./...` slots directly
+// into `make lint` and CI.
+//
+// Suppression: a line (or the line above it) may carry
+// `//vliwvet:allow <analyzer> <reason>`. The reason is mandatory;
+// malformed directives are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vliwmt/internal/analysis/vliwvet"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module directory to analyze")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vliwvet [-dir module] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range vliwvet.Suite() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	findings, err := vliwvet.CheckModule(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vliwvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vliwvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

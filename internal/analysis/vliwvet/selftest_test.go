@@ -1,0 +1,51 @@
+package vliwvet_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vliwmt/internal/analysis/vliwvet"
+)
+
+// TestModuleIsClean runs the full analyzer suite over the entire
+// module and requires zero findings. This is the tier-1 enforcement
+// of the lint gate: a change that introduces nondeterminism into a
+// simulation package, an allocation into a //vliw:hotpath function,
+// or an untagged DTO field fails `go test ./...` even before CI's
+// dedicated lint job runs vliwvet directly.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	findings, err := vliwvet.CheckModule(root, "./...")
+	if err != nil {
+		t.Fatalf("CheckModule: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f.String())
+	}
+	if len(findings) > 0 {
+		t.Fatalf("vliwvet reported %d finding(s); fix them or add a //vliwvet:allow <analyzer> <reason> waiver", len(findings))
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,35 @@
+// Package vliwvet assembles the repository's analyzer suite. The
+// individual analyzers live in sibling packages; this package fixes
+// the set that `make lint`, CI and the self-test all agree on, so a
+// new analyzer lands everywhere by being added to Suite exactly once.
+package vliwvet
+
+import (
+	"vliwmt/internal/analysis"
+	"vliwmt/internal/analysis/detmap"
+	"vliwmt/internal/analysis/detpure"
+	"vliwmt/internal/analysis/hotalloc"
+	"vliwmt/internal/analysis/load"
+	"vliwmt/internal/analysis/wiretag"
+)
+
+// Suite returns the full analyzer set in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detpure.Analyzer,
+		detmap.Analyzer,
+		hotalloc.Analyzer,
+		wiretag.Analyzer,
+	}
+}
+
+// CheckModule loads the packages the patterns match inside the module
+// rooted at dir (all packages when none are given) and runs the full
+// suite over them, returning findings in file/position order.
+func CheckModule(dir string, patterns ...string) ([]analysis.Finding, error) {
+	pkgs, err := load.Module(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(pkgs, Suite())
+}

@@ -9,10 +9,32 @@ SHELL := /bin/bash
 
 SIMCORE_BENCHES = BenchmarkTable1$$|BenchmarkSimulator$$|BenchmarkStallHeavy$$|BenchmarkStallHeavyRef$$|BenchmarkMergeSelect$$|BenchmarkMergeSelectRef$$|BenchmarkStoreColdSweep$$|BenchmarkStoreWarmSweep$$
 
-.PHONY: test check-allocs golden golden-check bench-simcore bench-simcore-ci
+.PHONY: test lint check-allocs golden golden-check bench-simcore bench-simcore-ci
 
 test:
 	go build ./... && go test ./...
+
+# lint is the *static* half of the invariant enforcement story:
+#   - go vet: the stock correctness checks
+#   - vliwvet: this repo's own analyzers (cmd/vliwvet) — determinism of
+#     the simulation packages (detpure, detmap), the zero-alloc contract
+#     of //vliw:hotpath functions (hotalloc), and wire/telemetry hygiene
+#     (wiretag)
+#   - staticcheck: when installed locally (CI always runs it)
+# The *dynamic* half is `make check-allocs`: vliwvet proves "no
+# allocating construct appears in an annotated function" at the syntax
+# level; AllocsPerRun measures what the compiled binary actually does,
+# catching anything the analyzer cannot see (escape-analysis changes,
+# allocations inside callees). Keep both — each catches regressions the
+# other misses, and the static one runs before a single test compiles.
+lint:
+	go vet ./...
+	go run ./cmd/vliwvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
+	fi
 
 # check-allocs is the allocation guard on the (instrumented) hot path:
 # the AllocsPerRun tests pinning the simulator's zero-allocs/cycle

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
@@ -99,7 +100,7 @@ func (c *Client) submit(ctx context.Context, sreq api.SweepRequest, opts *SweepO
 	if err := api.EncodeSweepRequest(&body, sreq); err != nil {
 		return nil, err
 	}
-	st, err := c.postJSON(ctx, "/v1/sweeps", &body)
+	st, err := c.postJSON(ctx, "/v1/sweeps", body.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -223,19 +224,38 @@ func (c *Client) poll(ctx context.Context, id string) error {
 	return err
 }
 
+// pollFailureBudget bounds the consecutive transient status failures
+// the polling loop rides out — at pollInterval apart, about five
+// seconds of server restart or network flap — before giving up.
+const (
+	pollInterval      = 100 * time.Millisecond
+	pollFailureBudget = 50
+)
+
 func (c *Client) waitTerminal(ctx context.Context, id string) (api.SweepStatus, error) {
+	failures := 0
 	for {
 		st, err := c.status(ctx, id)
-		if err != nil {
+		switch {
+		case err == nil:
+			failures = 0
+			if st.State.Terminal() {
+				return st, nil
+			}
+		case isTransient(err) && ctx.Err() == nil:
+			// A flaky or restarting server answers again shortly; the
+			// sweep itself is unaffected (runs survive on the server,
+			// results are re-fetchable). Keep polling for a while.
+			if failures++; failures > pollFailureBudget {
+				return st, err
+			}
+		default:
 			return st, err
-		}
-		if st.State.Terminal() {
-			return st, nil
 		}
 		select {
 		case <-ctx.Done():
 			return st, ctx.Err()
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(pollInterval):
 		}
 	}
 }
@@ -247,30 +267,95 @@ func (c *Client) status(ctx context.Context, id string) (api.SweepStatus, error)
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return api.SweepStatus{}, err
+		return api.SweepStatus{}, &transientError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return api.SweepStatus{}, fmt.Errorf("vliwmt: sweep %s status: %s: %s", id, resp.Status, readError(resp.Body))
+		err = fmt.Errorf("vliwmt: sweep %s status: %s: %s", id, resp.Status, readError(resp.Body))
+		if transientStatus(resp.StatusCode) {
+			return api.SweepStatus{}, &transientError{err}
+		}
+		return api.SweepStatus{}, err
 	}
 	return api.DecodeSweepStatus(resp.Body)
 }
 
-func (c *Client) postJSON(ctx context.Context, path string, body io.Reader) (api.SweepStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, body)
+// submitAttempts bounds postJSON's tries: the first submission plus
+// three retries of transient failures.
+const submitAttempts = 4
+
+// postJSON submits the request body, retrying transient failures —
+// transport errors and 502/503/504 responses from a worker mid-restart
+// or an overloaded proxy — with exponential backoff and jitter. The
+// body is a byte slice precisely so every attempt can resend it from
+// the start. Non-transient rejections (e.g. a 400 for a malformed
+// grid) fail immediately.
+func (c *Client) postJSON(ctx context.Context, path string, body []byte) (api.SweepStatus, error) {
+	var lastErr error
+	for attempt := 0; attempt < submitAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return api.SweepStatus{}, ctx.Err()
+			case <-time.After(retryDelay(attempt)):
+			}
+		}
+		st, err := c.postJSONOnce(ctx, path, body)
+		if err == nil || !isTransient(err) || ctx.Err() != nil {
+			return st, err
+		}
+		lastErr = err
+	}
+	return api.SweepStatus{}, fmt.Errorf("vliwmt: submit failed after %d attempts: %w", submitAttempts, lastErr)
+}
+
+func (c *Client) postJSONOnce(ctx context.Context, path string, body []byte) (api.SweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return api.SweepStatus{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpc.Do(req)
 	if err != nil {
-		return api.SweepStatus{}, err
+		return api.SweepStatus{}, &transientError{err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		return api.SweepStatus{}, fmt.Errorf("vliwmt: submit sweep: %s: %s", resp.Status, readError(resp.Body))
+		err = fmt.Errorf("vliwmt: submit sweep: %s: %s", resp.Status, readError(resp.Body))
+		if transientStatus(resp.StatusCode) {
+			return api.SweepStatus{}, &transientError{err}
+		}
+		return api.SweepStatus{}, err
 	}
 	return api.DecodeSweepStatus(resp.Body)
+}
+
+// retryDelay is the backoff before the attempt-th retry: 100ms
+// doubling per attempt, jittered to half-to-full so a burst of
+// clients doesn't re-submit in lockstep.
+func retryDelay(attempt int) time.Duration {
+	d := 100 * time.Millisecond << (attempt - 1)
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// transientError marks a failure worth retrying: the request may never
+// have reached the server, or the server signalled a temporary
+// condition.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func isTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
+// transientStatus reports whether an HTTP status signals a temporary
+// server-side condition rather than a rejected request.
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
 }
 
 // readError drains a small error body for diagnostics.

@@ -11,6 +11,7 @@
 //	vliwsweep -sharedseed -progress
 //	vliwsweep -store results/ -mixes LLHH      # persistent result store
 //	vliwsweep -addr localhost:8080 -mixes LLHH # same grid, remote vliwserve
+//	vliwsweep -fabric coord:8080 -mixes LLHH   # same grid, distributed fabric
 //	vliwsweep -stats -mixes LLHH               # lifecycle summary on stderr
 //	vliwsweep -log-level debug -log-json       # structured sweep tracing
 //
@@ -22,7 +23,9 @@
 // With -addr the grid is submitted to a running vliwserve instance
 // instead of the in-process engine; the determinism contract crosses
 // the wire, so the output is identical modulo the wall-clock fields
-// (elapsed_sec / time).
+// (elapsed_sec / time). With -fabric it is submitted to a vliwfabric
+// coordinator, which shards it across a worker pool — same contract,
+// same output, many boxes.
 //
 // With -store, completed jobs persist in a content-addressed store at
 // the given directory and later sweeps serve identical jobs from disk
@@ -114,6 +117,7 @@ func main() {
 	log.SetPrefix("vliwsweep: ")
 	var (
 		addr       = flag.String("addr", "", "submit the grid to a remote vliwserve at this address instead of running in-process")
+		fabric     = flag.String("fabric", "", "submit the grid to a vliwfabric coordinator at this address (sharded across its worker pool)")
 		schemes    = flag.String("schemes", "", "comma-separated merge schemes — names or tree expressions like C(S(T0,T1),T2,T3) (default: the paper's sixteen)")
 		mixes      = flag.String("mixes", "", "comma-separated Table 2 mixes (default: all nine)")
 		workers    = flag.Int("workers", 0, "worker pool size (0: runtime.NumCPU())")
@@ -145,11 +149,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *addr != "" && *store != "" {
-		// The remote server owns its own store (vliwserve -results);
-		// silently ignoring -store would look like caching that never
-		// happens.
-		log.Fatal("-store applies to in-process sweeps; with -addr, configure the store on the server (vliwserve -results)")
+	if *addr != "" && *fabric != "" {
+		log.Fatal("-addr and -fabric both name a remote endpoint; pick one")
+	}
+	if (*addr != "" || *fabric != "") && *store != "" {
+		// The remote server owns its own store (vliwserve -results,
+		// vliwfabric -results); silently ignoring -store would look
+		// like caching that never happens.
+		log.Fatal("-store applies to in-process sweeps; with -addr or -fabric, configure the store on the server (-results)")
 	}
 	// Profiling starts only after flag validation, and fatal paths go
 	// through fatal() below so an error mid-sweep still flushes the
@@ -204,9 +211,12 @@ func main() {
 	start := time.Now()
 	var results []vliwmt.SweepResult
 	var err error
-	if *addr != "" {
+	switch {
+	case *addr != "":
 		results, err = vliwmt.NewClient(*addr).Sweep(ctx, grid, opts)
-	} else {
+	case *fabric != "":
+		results, err = vliwmt.NewFabricClient(*fabric).Sweep(ctx, grid, opts)
+	default:
 		results, err = vliwmt.Sweep(ctx, grid, opts)
 	}
 	elapsed := time.Since(start)

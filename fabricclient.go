@@ -1,0 +1,50 @@
+package vliwmt
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"vliwmt/internal/api"
+)
+
+// ServerHealth is the structured liveness document served by
+// GET /v1/healthz on vliwserve and vliwfabric: build identity, current
+// load and (when persistence is configured) result-store traffic.
+type ServerHealth = api.Health
+
+// FabricClient submits sweeps through a vliwfabric coordinator
+// (cmd/vliwfabric), which shards them by content key and fans them out
+// to its registered worker pool. The coordinator speaks the same wire
+// format as a single vliwserve box, so FabricClient is a Client — the
+// distinction is documentary: what you get back is still bit-identical
+// to an in-process run, it just arrived from many machines, with each
+// Result's Worker and Shard recording where it was computed.
+type FabricClient struct {
+	*Client
+}
+
+// NewFabricClient returns a client for the coordinator at addr, e.g.
+// "coordinator:8080". A bare host:port is given an http scheme.
+func NewFabricClient(addr string) *FabricClient {
+	return &FabricClient{Client: NewClient(addr)}
+}
+
+// Health fetches the server's structured health document — a richer
+// probe than Ping, exposing active sweeps and store counters. Both
+// vliwserve and vliwfabric serve it.
+func (c *Client) Health(ctx context.Context) (ServerHealth, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/healthz", nil)
+	if err != nil {
+		return ServerHealth{}, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return ServerHealth{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ServerHealth{}, fmt.Errorf("vliwmt: health: %s: %s", resp.Status, readError(resp.Body))
+	}
+	return api.DecodeHealth(resp.Body)
+}

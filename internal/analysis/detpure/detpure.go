@@ -46,6 +46,7 @@ var DeterministicPackages = map[string]bool{
 	"vliwmt/internal/workload":    true,
 	"vliwmt/internal/sweep":       true,
 	"vliwmt/internal/resultstore": true,
+	"vliwmt/internal/fabric":      true,
 }
 
 // randConstructors are the math/rand functions that build seeded,

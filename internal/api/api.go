@@ -39,8 +39,10 @@ import (
 //	   server a /v1/store document (StoreStatus). Later additions
 //	   within 3 (all optional, omitted when empty, version-1-semantics
 //	   when absent, so no bump): sweep statuses may carry an "errors"
-//	   count and a terminal "summary" roll-up (SweepSummary), and
-//	   NDJSON events an "err" string for failed jobs
+//	   count and a terminal "summary" roll-up (SweepSummary), NDJSON
+//	   events an "err" string for failed jobs, results a "worker" and
+//	   "shard" attribution (set by the distributed sweep fabric), and
+//	   the server a /v1/healthz document (Health)
 const Version = 3
 
 // Machine is the wire form of isa.Machine.
@@ -382,7 +384,10 @@ func (r SimResult) Sim() sim.Result {
 // wall-clock (non-deterministic) field; Err flattens the job's error
 // to its message, so error identity does not survive the wire. Cached
 // (wire version 3) reports the result was served from the persistent
-// result store rather than simulated.
+// result store rather than simulated. Worker and Shard (additive
+// within version 3) attribute a result computed by the distributed
+// sweep fabric — the worker address that simulated the job and the
+// 1-based shard it travelled in; absent for local, unsharded runs.
 type Result struct {
 	Index      int        `json:"index"`
 	Job        Job        `json:"job"`
@@ -390,11 +395,14 @@ type Result struct {
 	Err        string     `json:"err,omitempty"`
 	ElapsedSec float64    `json:"elapsed_sec"`
 	Cached     bool       `json:"cached,omitempty"`
+	Worker     string     `json:"worker,omitempty"`
+	Shard      int        `json:"shard,omitempty"`
 }
 
 // ResultFrom converts an internal sweep result to its wire form.
 func ResultFrom(r sweep.Result) Result {
-	out := Result{Index: r.Index, Job: JobFrom(r.Job), ElapsedSec: r.Elapsed.Seconds(), Cached: r.Cached}
+	out := Result{Index: r.Index, Job: JobFrom(r.Job), ElapsedSec: r.Elapsed.Seconds(),
+		Cached: r.Cached, Worker: r.Worker, Shard: r.Shard}
 	if r.Err != nil {
 		out.Err = r.Err.Error()
 	}
@@ -415,6 +423,8 @@ func (r Result) Sweep() sweep.Result {
 		Job:     job,
 		Elapsed: time.Duration(r.ElapsedSec * float64(time.Second)),
 		Cached:  r.Cached,
+		Worker:  r.Worker,
+		Shard:   r.Shard,
 	}
 	if r.Err != "" {
 		out.Err = errors.New(r.Err)

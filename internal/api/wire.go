@@ -78,6 +78,54 @@ type SweepSummary struct {
 	JobsPerSec    float64 `json:"jobs_per_sec,omitempty"`
 }
 
+// Health is the body of GET /v1/healthz (additive within wire
+// version 3): a structured liveness document for load balancers and
+// the sweep fabric — build identity, current load and (when
+// persistence is configured) result-store stats — cheap enough to
+// poll, unlike GET /v1/store whose entry count walks the disk.
+type Health struct {
+	Version int    `json:"version"`
+	Service string `json:"service"`
+	// GoVersion and Revision identify the build (Revision is the VCS
+	// commit when the binary embeds one, else empty).
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	// ActiveSweeps counts sweeps currently executing; UptimeSec is the
+	// server's age. Both answer "is this box alive and how loaded".
+	ActiveSweeps int     `json:"active_sweeps"`
+	UptimeSec    float64 `json:"uptime_sec,omitempty"`
+	// Store carries the result-store traffic counters when persistence
+	// is configured (entry counts are deliberately absent — counting
+	// walks the store; poll GET /v1/store for them).
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the health document's store roll-up: the handle's
+// lifetime traffic counters without the on-disk entry walk.
+type StoreStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+}
+
+// EncodeHealth writes h as versioned JSON.
+func EncodeHealth(w io.Writer, h Health) error {
+	h.Version = Version
+	return json.NewEncoder(w).Encode(h)
+}
+
+// DecodeHealth reads and version-checks a health document.
+func DecodeHealth(r io.Reader) (Health, error) {
+	var h Health
+	if err := json.NewDecoder(r).Decode(&h); err != nil {
+		return h, fmt.Errorf("api: decode health: %w", err)
+	}
+	if err := CheckVersion(h.Version); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
 // StoreStatus is the body of GET /v1/store (wire version 3): the
 // server's persistent result store — entry count on disk plus the
 // server handle's lifetime traffic counters.

@@ -1,0 +1,297 @@
+// Package fabric is the distributed sweep coordinator: it takes a job
+// set, splits it into shards keyed by result-store content hash, fans
+// the shards out to a pool of vliwserve workers over the existing v3
+// wire format (POST /v1/sweeps?wait=1), and merges results back in
+// index order, so the output is bit-identical to a single-box run at
+// any worker count — the same determinism contract the in-process
+// sweep engine guarantees.
+//
+// The coordinator is a drop-in sweep executor (its Run method
+// satisfies server.Executor), so cmd/vliwfabric is an ordinary
+// vliwserve speaking the same wire API whose sweeps happen to execute
+// on other boxes. The scheduling policy, in order of application:
+//
+//  1. Jobs are validated locally; an invalid job fails on its own
+//     Result without a round trip (a worker would reject the whole
+//     shard with one 400).
+//  2. Jobs are grouped by resultstore.Key: duplicate-key jobs are
+//     dispatched once and the result fanned back to every index, and
+//     the coordinator's shared result store is probed per key so
+//     already-stored jobs never leave the box.
+//  3. The remaining units are chunked into shards (Options.ShardJobs
+//     per shard, 1-based IDs) and dealt round-robin onto per-worker
+//     pending queues.
+//  4. Each worker drains its own queue; an idle worker steals from the
+//     tail of the longest peer queue, so one slow or dead box never
+//     strands its share of the sweep.
+//  5. A failed shard attempt is requeued with exponential backoff and
+//     jitter, up to Options.MaxRetries re-dispatches; transport
+//     failures additionally mark the worker unhealthy (its in-flight
+//     requests are cancelled and requeued) until the periodic health
+//     ping sees it answer GET /v1/healthz again.
+//
+// Determinism: a Result's Res is a pure function of its Job, so where
+// a job executes — and how often it is retried — can only change the
+// wall-clock columns (Elapsed, Worker, Shard), never the simulation
+// outcome. Merging by index therefore reproduces the local engine's
+// output exactly; TestFabricDeterminism pins this with DiffSnapshots.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	"vliwmt/internal/resultstore"
+	"vliwmt/internal/sweep"
+	"vliwmt/internal/telemetry"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers are the worker addresses ("host:port" or full URLs),
+	// registered at construction. At least one is required.
+	Workers []string
+	// Store is the coordinator-side result store: probed before
+	// fan-out (hits never leave the box) and written back after, so
+	// the coordinator accumulates every result it has ever merged.
+	// Optional.
+	Store *resultstore.Store
+	// ShardJobs caps the unique jobs per shard (default 8). Smaller
+	// shards spread better and requeue cheaper; larger shards
+	// amortise the HTTP round trip.
+	ShardJobs int
+	// RemoteWorkers is the pool-size hint forwarded to each worker
+	// (0 lets the worker pick runtime.NumCPU()).
+	RemoteWorkers int
+	// MaxRetries bounds the re-dispatches of one shard after its
+	// first attempt (default 4). Exhausting the budget fails the
+	// shard's jobs, not the sweep.
+	MaxRetries int
+	// RetryBase and RetryMax bound the exponential backoff between
+	// re-dispatches (defaults 100ms and 5s); each delay is jittered
+	// to half-to-full of the nominal value.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// PingInterval is the health-probe period per worker (default
+	// 2s). Probes hit GET /v1/healthz and flip the worker's health
+	// both ways.
+	PingInterval time.Duration
+	// HTTPClient overrides the transport (tests). Defaults to a
+	// fresh http.Client with no global timeout — per-attempt
+	// lifetimes are context-governed.
+	HTTPClient *http.Client
+}
+
+// Coordinator fans sweeps out to a registered worker pool. It is safe
+// for concurrent Runs; worker health is shared across them. Close
+// releases the health pingers.
+type Coordinator struct {
+	opts    Options
+	store   *resultstore.Store
+	httpc   *http.Client
+	workers []*worker
+
+	stopPing context.CancelFunc
+	pingWG   sync.WaitGroup
+
+	mu sync.Mutex
+	//vliwvet:allow detpure seeded local jitter generator, never the global source
+	rng        *rand.Rand
+	dispatches map[*dispatch]struct{}
+}
+
+// New validates opts, registers the workers (optimistically healthy;
+// the first failed dispatch or ping corrects that) and starts one
+// health pinger per worker.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("fabric: no workers registered")
+	}
+	if opts.ShardJobs <= 0 {
+		opts.ShardJobs = 8
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 4
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 100 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 5 * time.Second
+	}
+	if opts.PingInterval <= 0 {
+		opts.PingInterval = 2 * time.Second
+	}
+	c := &Coordinator{
+		opts:  opts,
+		store: opts.Store,
+		httpc: opts.HTTPClient,
+		// The jitter stream only decorrelates retry storms, so a fixed
+		// seed is fine — and keeps the package deterministic-clean.
+		rng:        rand.New(rand.NewPCG(2009, uint64(len(opts.Workers)))),
+		dispatches: map[*dispatch]struct{}{},
+	}
+	if c.httpc == nil {
+		c.httpc = &http.Client{}
+	}
+	seen := map[string]bool{}
+	for _, addr := range opts.Workers {
+		w, err := newWorker(addr)
+		if err != nil {
+			return nil, err
+		}
+		if seen[w.base] {
+			return nil, fmt.Errorf("fabric: worker %s registered twice", addr)
+		}
+		seen[w.base] = true
+		c.workers = append(c.workers, w)
+	}
+	pctx, cancel := context.WithCancel(context.Background())
+	c.stopPing = cancel
+	for _, w := range c.workers {
+		c.pingWG.Add(1)
+		go c.pinger(pctx, w)
+	}
+	return c, nil
+}
+
+// Close stops the health pingers. In-flight Runs are unaffected.
+func (c *Coordinator) Close() {
+	c.stopPing()
+	c.pingWG.Wait()
+}
+
+// Workers returns the registered worker names in registration order.
+func (c *Coordinator) Workers() []string {
+	names := make([]string, len(c.workers))
+	for i, w := range c.workers {
+		names[i] = w.name
+	}
+	return names
+}
+
+// Run executes the job set on the worker pool and returns one Result
+// per job, ordered by index. Its signature matches server.Executor,
+// and its error semantics mirror the local engine: per-job failures
+// are collected on their Results and joined into the returned error;
+// cancelling ctx stops dispatching, already-running shards finish (the
+// workers' wait=1 handlers observe the dropped connections), and jobs
+// never delivered carry the context's error. The workers argument is
+// forwarded as each shard's pool-size hint when Options.RemoteWorkers
+// is unset.
+func (c *Coordinator) Run(ctx context.Context, jobs []sweep.Job, workers int, progress sweep.ProgressFunc) ([]sweep.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, sweepID := telemetry.EnsureSweepID(ctx)
+	logger := telemetry.TraceLogger().With("sweep", sweepID)
+
+	remote := c.opts.RemoteWorkers
+	if remote == 0 {
+		remote = workers
+	}
+	d := &dispatch{
+		c:        c,
+		ctx:      ctx,
+		jobs:     jobs,
+		results:  make([]sweep.Result, len(jobs)),
+		progress: progress,
+		remote:   remote,
+	}
+	d.cond = sync.NewCond(&d.mu)
+	for i := range jobs {
+		d.results[i] = sweep.Result{Index: i, Job: jobs[i]}
+	}
+
+	units := d.plan()
+	shards := chunkShards(units, c.opts.ShardJobs)
+	d.queues = make([][]*shard, len(c.workers))
+	for i, sh := range shards {
+		wi := i % len(c.workers)
+		d.queues[wi] = append(d.queues[wi], sh)
+	}
+	d.outstanding = len(shards)
+	logger.Info("fabric dispatch",
+		"jobs", len(jobs), "units", len(units), "shards", len(shards), "workers", len(c.workers))
+
+	if len(shards) > 0 {
+		c.addDispatch(d)
+		defer c.removeDispatch(d)
+		// A cancelled sweep must wake every worker loop parked on the
+		// condition variable.
+		stop := context.AfterFunc(ctx, d.cond.Broadcast)
+		defer stop()
+		var wg sync.WaitGroup
+		for wi := range c.workers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.workerLoop(wi)
+			}()
+		}
+		wg.Wait()
+	}
+
+	var errs []error
+	if err := ctx.Err(); err != nil {
+		// Shards never delivered (cancelled mid-flight or still queued)
+		// leave their jobs unfilled; they carry the context's error,
+		// exactly as the local engine's skipped jobs do.
+		for i := range d.results {
+			if d.results[i].Res == nil && d.results[i].Err == nil {
+				d.results[i].Err = err
+			}
+		}
+		errs = append(errs, err)
+	}
+	for i := range d.results {
+		if d.results[i].Err != nil && !errors.Is(d.results[i].Err, ctx.Err()) {
+			errs = append(errs, fmt.Errorf("job %d (%s): %w", i, d.results[i].Job.Describe(), d.results[i].Err))
+		}
+	}
+	return d.results, errors.Join(errs...)
+}
+
+// addDispatch registers a running dispatch so worker health
+// transitions can wake its scheduler.
+func (c *Coordinator) addDispatch(d *dispatch) {
+	c.mu.Lock()
+	c.dispatches[d] = struct{}{}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) removeDispatch(d *dispatch) {
+	c.mu.Lock()
+	delete(c.dispatches, d)
+	c.mu.Unlock()
+}
+
+// broadcastAll wakes every active dispatch's scheduler (a worker came
+// back; parked loops should re-check for claimable work).
+func (c *Coordinator) broadcastAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for d := range c.dispatches {
+		d.cond.Broadcast()
+	}
+}
+
+// backoff returns the jittered delay before re-dispatching a shard
+// whose attempt-th try failed: base·2^(attempt-1) capped at RetryMax,
+// then jittered to [1/2, 1) of nominal so synchronised failures don't
+// re-dispatch in lockstep.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBase << (attempt - 1)
+	if d > c.opts.RetryMax || d <= 0 {
+		d = c.opts.RetryMax
+	}
+	c.mu.Lock()
+	j := c.rng.Float64()
+	c.mu.Unlock()
+	return d/2 + time.Duration(float64(d/2)*j)
+}

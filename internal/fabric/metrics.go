@@ -1,0 +1,26 @@
+package fabric
+
+import "vliwmt/internal/telemetry"
+
+// Fabric instruments live in the process-wide registry, so a
+// coordinator's GET /metrics (cmd/vliwfabric embeds the ordinary
+// server) exposes them alongside the server and store families.
+var (
+	metShardsDispatched = telemetry.NewCounter("fabric_shards_dispatched_total",
+		"Shard dispatch attempts handed to a worker (retries count again).")
+	metShardsCompleted = telemetry.NewCounter("fabric_shards_completed_total",
+		"Shards whose results merged back into a sweep.")
+	metShardsRetried = telemetry.NewCounter("fabric_shards_retried_total",
+		"Failed shard attempts requeued with backoff.")
+	metShardsStolen = telemetry.NewCounter("fabric_shards_stolen_total",
+		"Shards an idle worker stole from a peer's pending queue.")
+	metShardsFailed = telemetry.NewCounter("fabric_shards_failed_total",
+		"Shards abandoned after exhausting their retry budget.")
+	metJobsFromStore = telemetry.NewCounter("fabric_jobs_from_store_total",
+		"Jobs served from the coordinator's result store without leaving the box.")
+	metJobsDeduped = telemetry.NewCounter("fabric_jobs_deduped_total",
+		"Jobs sharing a content key with an earlier job in the same sweep, dispatched once.")
+	metShardLatency = telemetry.NewHistogram("fabric_shard_duration_seconds",
+		"Wall-clock time of one shard dispatch attempt, request to merged response.",
+		telemetry.DurationBuckets)
+)

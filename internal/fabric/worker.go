@@ -1,0 +1,208 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"vliwmt/internal/api"
+	"vliwmt/internal/sweep"
+	"vliwmt/internal/telemetry"
+)
+
+// worker is one registered vliwserve box. Health is coordinator-wide
+// state shared across concurrent Runs: an unhealthy worker claims no
+// new shards (its pending queue stays stealable) and has its in-flight
+// attempts cancelled, which requeues them through the retry path.
+type worker struct {
+	name  string // address as registered, used for labels and attribution
+	base  string // normalised http://host:port
+	gauge *telemetry.Gauge
+
+	mu       sync.Mutex
+	healthy  bool
+	nextID   int
+	inflight map[int]context.CancelFunc
+}
+
+// newWorker normalises the address (a bare host:port gets http://) and
+// registers the worker's health gauge, initially healthy.
+func newWorker(addr string) (*worker, error) {
+	name := strings.TrimSpace(addr)
+	if name == "" {
+		return nil, fmt.Errorf("fabric: empty worker address")
+	}
+	base := name
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	w := &worker{
+		name:     name,
+		base:     base,
+		gauge:    telemetry.NewLabeledGauge("fabric_worker_healthy", `worker="`+name+`"`, "Whether the fabric coordinator considers the worker healthy (1) or unhealthy (0)."),
+		healthy:  true,
+		inflight: map[int]context.CancelFunc{},
+	}
+	w.gauge.Set(1)
+	return w, nil
+}
+
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// track registers an in-flight attempt's cancel func and returns its
+// handle for untrack.
+func (w *worker) track(cancel context.CancelFunc) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextID++
+	w.inflight[w.nextID] = cancel
+	return w.nextID
+}
+
+func (w *worker) untrack(id int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.inflight, id)
+}
+
+// markUnhealthy flips the worker down and cancels its in-flight
+// attempts; each cancelled attempt fails, and the retry path requeues
+// its shard onto a healthy peer.
+func (c *Coordinator) markUnhealthy(w *worker, err error) {
+	w.mu.Lock()
+	was := w.healthy
+	w.healthy = false
+	// Cancelling under the lock is safe: a CancelFunc only closes the
+	// context's done channel, and the attempt goroutines it unblocks
+	// re-acquire the lock on their own stacks.
+	for _, cancel := range w.inflight {
+		cancel()
+	}
+	clear(w.inflight)
+	w.mu.Unlock()
+	w.gauge.Set(0)
+	if was {
+		telemetry.TraceLogger().Warn("fabric worker unhealthy", "worker", w.name, "err", err.Error())
+	}
+}
+
+// markHealthy flips the worker up and wakes every active dispatch so
+// parked scheduler loops re-check for claimable work.
+func (c *Coordinator) markHealthy(w *worker) {
+	w.mu.Lock()
+	was := w.healthy
+	w.healthy = true
+	w.mu.Unlock()
+	w.gauge.Set(1)
+	if !was {
+		telemetry.TraceLogger().Info("fabric worker healthy", "worker", w.name)
+		c.broadcastAll()
+	}
+}
+
+// pinger periodically health-checks one worker until the coordinator
+// closes, flipping its health in both directions.
+func (c *Coordinator) pinger(ctx context.Context, w *worker) {
+	defer c.pingWG.Done()
+	t := time.NewTicker(c.opts.PingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.opts.PingInterval)
+		err := c.ping(pctx, w)
+		cancel()
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			c.markUnhealthy(w, err)
+		} else {
+			c.markHealthy(w)
+		}
+	}
+}
+
+// ping probes GET /v1/healthz; any decodable, version-compatible
+// health document means the worker is up.
+func (c *Coordinator) ping(ctx context.Context, w *worker) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/v1/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("fabric: ping %s: %w", w.name, err)
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("fabric: ping %s: %w", w.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fabric: ping %s: %s", w.name, resp.Status)
+	}
+	if _, err := api.DecodeHealth(resp.Body); err != nil {
+		return fmt.Errorf("fabric: ping %s: %w", w.name, err)
+	}
+	return nil
+}
+
+// runShard executes one shard on one worker synchronously over the v3
+// wire format and returns the per-unit results in shard order. A
+// transport failure marks the worker unhealthy (unless the attempt's
+// own context was cancelled first); protocol and status errors leave
+// health to the pinger — the box answered, it just didn't like us.
+func (c *Coordinator) runShard(ctx context.Context, w *worker, sh *shard, workers int) ([]sweep.Result, error) {
+	jobs := make([]api.Job, len(sh.units))
+	for i, u := range sh.units {
+		jobs[i] = api.JobFrom(u.job)
+	}
+	var buf bytes.Buffer
+	if err := api.EncodeSweepRequest(&buf, api.SweepRequest{Jobs: jobs, Workers: workers}); err != nil {
+		return nil, fmt.Errorf("fabric: encode shard %d: %w", sh.id, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/sweeps?wait=1", &buf)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: shard %d: %w", sh.id, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.markUnhealthy(w, err)
+		}
+		return nil, fmt.Errorf("fabric: %s: %w", w.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("fabric: %s: POST /v1/sweeps: %s: %s",
+			w.name, resp.Status, strings.TrimSpace(string(body)))
+	}
+	st, err := api.DecodeSweepStatus(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %s: %w", w.name, err)
+	}
+	if !st.State.Terminal() || st.State == api.StateCanceled {
+		return nil, fmt.Errorf("fabric: %s: sweep %s ended %s", w.name, st.ID, st.State)
+	}
+	// StateDone and StateFailed both carry the full ordered result set;
+	// a remote per-job failure is deterministic (we validated locally,
+	// so it is a compile- or simulation-level error a retry cannot
+	// change) and passes through to the job's Result.
+	if len(st.Results) != len(sh.units) {
+		return nil, fmt.Errorf("fabric: %s: shard %d: %d results for %d jobs",
+			w.name, sh.id, len(st.Results), len(sh.units))
+	}
+	return api.SweepResults(st.Results), nil
+}

@@ -8,7 +8,8 @@
 //	DELETE /v1/sweeps/{id}        cancel a running sweep
 //	GET    /v1/store             result-store stats (entries, hits, misses)
 //	DELETE /v1/store             clear the result store
-//	GET    /healthz              liveness probe
+//	GET    /v1/healthz           structured health (build, load, store stats)
+//	GET    /healthz              plain-text liveness probe
 //
 // Bodies are the versioned wire documents of internal/api. Every sweep
 // shares one compile cache for the life of the server; each runs under
@@ -35,6 +36,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -44,6 +47,15 @@ import (
 	"vliwmt/internal/sweep"
 	"vliwmt/internal/telemetry"
 )
+
+// Executor runs a submitted job set on behalf of the server and
+// returns index-ordered results under the engine's determinism
+// contract. workers is the request's pool-size hint; progress must be
+// called with monotonic done counts as jobs complete. The default
+// executor is a vliwmt.Runner on the server's shared compile cache
+// and store; the sweep fabric substitutes a coordinator that fans the
+// jobs out to remote workers instead.
+type Executor func(ctx context.Context, jobs []sweep.Job, workers int, progress sweep.ProgressFunc) ([]sweep.Result, error)
 
 // Options configures a Server.
 type Options struct {
@@ -55,6 +67,17 @@ type Options struct {
 	// jobs are served without simulating, and the cache survives server
 	// restarts.
 	ResultDir string
+	// Store attaches an existing result-store handle instead of opening
+	// one from ResultDir (it wins when both are set). The fabric
+	// coordinator shares one handle between its probe path and the
+	// server's /v1/store endpoints this way.
+	Store *vliwmt.ResultStore
+	// Execute substitutes the sweep execution strategy; nil selects the
+	// in-process Runner. See Executor.
+	Execute Executor
+	// Service names the process in GET /v1/healthz documents; empty
+	// defaults to "vliwserve".
+	Service string
 	// Log receives request and sweep lifecycle lines; nil disables.
 	Log *log.Logger
 	// DisableDebug removes the observability endpoints — GET /metrics
@@ -67,11 +90,12 @@ type Options struct {
 // Server owns the sweep runs, the shared compile cache and the shared
 // result store.
 type Server struct {
-	opts   Options
-	cache  *vliwmt.CompileCache
-	store  *vliwmt.ResultStore // nil when persistence is disabled
-	ctx    context.Context
-	cancel context.CancelFunc
+	opts    Options
+	cache   *vliwmt.CompileCache
+	store   *vliwmt.ResultStore // nil when persistence is disabled
+	started time.Time
+	ctx     context.Context
+	cancel  context.CancelFunc
 
 	mu     sync.Mutex
 	runs   map[string]*run
@@ -84,13 +108,17 @@ type Server struct {
 func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   opts,
-		cache:  vliwmt.NewCompileCache(),
-		ctx:    ctx,
-		cancel: cancel,
-		runs:   map[string]*run{},
+		opts:    opts,
+		cache:   vliwmt.NewCompileCache(),
+		started: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		runs:    map[string]*run{},
 	}
-	if opts.ResultDir != "" {
+	switch {
+	case opts.Store != nil:
+		s.store = opts.Store
+	case opts.ResultDir != "":
 		s.store = vliwmt.OpenResultStore(opts.ResultDir)
 	}
 	return s
@@ -109,6 +137,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	}))
+	mux.HandleFunc("GET /v1/healthz", instrumented("healthz_v1", s.handleHealth))
 	mux.HandleFunc("POST /v1/sweeps", instrumented("submit", s.handleSubmit))
 	mux.HandleFunc("GET /v1/sweeps", instrumented("list", s.handleList))
 	mux.HandleFunc("GET /v1/sweeps/{id}", instrumented("status", s.handleStatus))
@@ -318,27 +347,83 @@ func (s *Server) register(total int, cancel context.CancelFunc) *run {
 	return ru
 }
 
-// execute runs the job set on a per-sweep Runner sharing the server's
-// compile cache, then records the terminal state. It releases the
-// run's context on return so finished sweeps don't stay registered as
-// children of the server context. The run's ID rides the context as
-// the telemetry sweep ID, so the engine's span events (and anything
-// below them) are attributable to this submission.
+// execute runs the job set — on a per-sweep Runner sharing the
+// server's compile cache, or on the configured Executor (the fabric
+// coordinator's fan-out path) — then records the terminal state. It
+// releases the run's context on return so finished sweeps don't stay
+// registered as children of the server context. The run's ID rides the
+// context as the telemetry sweep ID, so the engine's span events (and
+// anything below them) are attributable to this submission.
 func (s *Server) execute(ctx context.Context, ru *run, jobs []sweep.Job, workers int) {
 	defer ru.cancel()
 	metActiveSweeps.Add(1)
 	defer metActiveSweeps.Add(-1)
 	ctx = telemetry.WithSweepID(ctx, ru.id)
-	runner := vliwmt.NewRunner(
-		vliwmt.WithWorkers(workers),
-		vliwmt.WithCache(s.cache),
-		vliwmt.WithProgress(ru.progress),
-		vliwmt.WithStore(s.store),
-	)
-	results, err := runner.SweepJobs(ctx, jobs)
+	exec := s.opts.Execute
+	if exec == nil {
+		exec = s.runnerExecute
+	}
+	results, err := exec(ctx, jobs, workers, ru.progress)
 	ru.finish(results, err)
 	st := ru.status(false)
 	s.logf("sweep %s: %s (%d/%d jobs, %d from store, %d errors)", ru.id, st.State, st.Done, st.Total, st.CacheHits, st.Errors)
+}
+
+// runnerExecute is the default Executor: an in-process vliwmt.Runner
+// on the server's shared compile cache and result store.
+func (s *Server) runnerExecute(ctx context.Context, jobs []sweep.Job, workers int, progress sweep.ProgressFunc) ([]sweep.Result, error) {
+	runner := vliwmt.NewRunner(
+		vliwmt.WithWorkers(workers),
+		vliwmt.WithCache(s.cache),
+		vliwmt.WithProgress(progress),
+		vliwmt.WithStore(s.store),
+	)
+	return runner.SweepJobs(ctx, jobs)
+}
+
+// handleHealth serves the structured liveness document: build
+// identity, active-sweep load and store traffic counters — everything
+// a load balancer or the fabric's health pinger needs, without the
+// disk walk of GET /v1/store.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	service := s.opts.Service
+	if service == "" {
+		service = "vliwserve"
+	}
+	h := api.Health{
+		Service:      service,
+		GoVersion:    runtime.Version(),
+		Revision:     buildRevision(),
+		ActiveSweeps: int(metActiveSweeps.Value()),
+		UptimeSec:    time.Since(s.started).Seconds(),
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		h.Store = &api.StoreStats{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts}
+	}
+	writeJSON(w, http.StatusOK, withVersion(h))
+}
+
+// withVersion stamps the wire version on a health document (writeJSON
+// has no versioning hook of its own).
+func withVersion(h api.Health) api.Health {
+	h.Version = api.Version
+	return h
+}
+
+// buildRevision returns the embedded VCS commit of the binary, or ""
+// for builds without VCS stamping (tests, go run from a dirty tree).
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
 }
 
 // handleStoreStatus reports the shared result store: entries on disk

@@ -511,3 +511,75 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("healthz: %d", resp.StatusCode)
 	}
 }
+
+// TestHealthzV1 exercises the structured health document: service
+// identity, load and store stats, cheap enough for the fabric's
+// periodic ping.
+func TestHealthzV1(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Options{ResultDir: dir, Service: "vliwfabric"})
+
+	fetch := func() api.Health {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: %s", resp.Status)
+		}
+		h, err := api.DecodeHealth(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := fetch()
+	if h.Service != "vliwfabric" {
+		t.Errorf("service %q, want the configured name", h.Service)
+	}
+	if h.Version != api.Version {
+		t.Errorf("version %d, want %d", h.Version, api.Version)
+	}
+	if h.GoVersion == "" {
+		t.Error("health lacks the Go version")
+	}
+	if h.ActiveSweeps != 0 {
+		t.Errorf("idle server reports %d active sweeps", h.ActiveSweeps)
+	}
+	if h.Store == nil {
+		t.Fatal("store-backed server reports no store stats")
+	}
+
+	// A finished sweep moves the store counters the document reports.
+	g := testGrid()
+	st := submit(t, ts, api.SweepRequest{Grid: &g}, "?wait=1")
+	if st.State != api.StateDone {
+		t.Fatalf("sweep state %s", st.State)
+	}
+	h = fetch()
+	if h.Store.Puts == 0 {
+		t.Error("store puts not visible in health after a sweep")
+	}
+
+	// An unconfigured service name defaults to vliwserve, and a
+	// storeless server omits the store block.
+	_, plain := newTestServer(t, Options{})
+	resp, err := http.Get(plain.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	ph, err := api.DecodeHealth(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ph.Service != "vliwserve" {
+		t.Errorf("default service %q, want vliwserve", ph.Service)
+	}
+	if ph.Store != nil {
+		t.Error("storeless server reports store stats")
+	}
+}

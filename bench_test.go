@@ -188,17 +188,47 @@ func BenchmarkSweepGridSerial(b *testing.B) { benchSweep(b, 1) }
 
 // storeBenchGrid is the grid both result-store benches sweep: the
 // paper's sixteen schemes over two mixes (32 jobs) at a scaled-down
-// budget.
+// budget — large enough that per-job simulation dominates per-job
+// setup, as in real sweeps (the CLI default budget is 300k).
 func storeBenchGrid() vliwmt.Grid {
-	return vliwmt.Grid{Mixes: []string{"LLHH", "HHHH"}, InstrLimit: 10_000, Seed: 1}
+	return vliwmt.Grid{Mixes: []string{"LLHH", "HHHH"}, InstrLimit: 100_000, Seed: 1}
 }
 
 // BenchmarkStoreColdSweep measures a sweep into an empty result store:
 // every job simulates and persists, so the delta against
 // BenchmarkSweepGrid is the store's write-path overhead. Each
 // iteration gets a fresh directory (a fresh Runner with an empty
-// compile cache, too, so cold means cold).
+// compile cache, too, so cold means cold). Batching is pinned off —
+// this is the single-job execution baseline BenchmarkBatchedSweep is
+// measured against.
 func BenchmarkStoreColdSweep(b *testing.B) {
+	grid := storeBenchGrid()
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		r := vliwmt.NewRunner(vliwmt.WithResultStore(b.TempDir()), vliwmt.WithBatch(1))
+		results, err := r.Sweep(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(results)
+		if st := r.Store().Stats(); st.Hits != 0 {
+			b.Fatalf("cold sweep hit the store: %+v", st)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
+// BenchmarkBatchedSweep is BenchmarkStoreColdSweep with the batched
+// simulation core on (the default): shape-compatible jobs advance
+// through one shared cycle loop with shared compiled plans and the
+// packed selection dictionary. Same grid, same cold store,
+// bit-identical results —
+// the jobs/s ratio against BenchmarkStoreColdSweep is the batching
+// speedup the sweep engine delivers on one core.
+func BenchmarkBatchedSweep(b *testing.B) {
 	grid := storeBenchGrid()
 	jobs := 0
 	for i := 0; i < b.N; i++ {

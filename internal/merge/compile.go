@@ -56,12 +56,13 @@ type cinstr struct {
 // walk (enforced by the differential tests). The scratch stack makes an
 // instance single-simulator state: build one per run via Scheme.Selector.
 type Compiled struct {
-	tree  *Tree
-	kind  evalKind
-	steps []foldStep  // fold evaluators
-	prog  []cinstr    // evalStack program
-	stack []Selection // evalStack scratch, len = max program depth
-	masks []uint8     // cluster mask per stack entry, same length
+	tree   *Tree
+	kind   evalKind
+	steps  []foldStep  // fold evaluators
+	prog   []cinstr    // evalStack program
+	stack  []Selection // evalStack scratch, len = max program depth
+	masks  []uint8     // cluster mask per stack entry, same length
+	pstack []pentry    // evalStack scratch for SelectPacked, same length
 }
 
 // Compile flattens t into its fastest evaluator form. The result selects
@@ -90,6 +91,7 @@ func Compile(t *Tree) *Compiled {
 	c.kind = evalStack
 	c.prog, c.stack = compileStack(t.root)
 	c.masks = make([]uint8, len(c.stack))
+	c.pstack = make([]pentry, len(c.stack))
 	return c
 }
 

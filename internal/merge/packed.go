@@ -1,0 +1,268 @@
+package merge
+
+import "vliwmt/internal/isa"
+
+// Packed selection: the batched simulator's occupancy-free fast path.
+//
+// A compiled evaluator consumes an occupancy only through three
+// questions — which clusters does it use (CSMT disjointness), do the
+// per-cluster slot counts fit when two packets are summed (SMT
+// capacity), and does the merged packet retire any operations. All
+// three are answerable from a byte-packed form of the occupancy: one
+// uint64 per slot class holding the eight per-cluster counts as bytes,
+// plus the cluster bitmask and the operation total. On that form a
+// merge attempt is a handful of 64-bit adds and masks — no per-cluster
+// loop, no 33-byte Occupancy copies — and the whole candidate gather
+// reduces to dictionary IDs.
+//
+// The SWAR capacity test works because every quantity is small: packed
+// counts are capped at packMax (63) and machine limits likewise, so
+// byte sums never carry into a neighbouring byte, and "count_a +
+// count_b > limit" becomes "byte + (127 - limit) has bit 7 set".
+// Clusters the solo path never checks (index >= Machine.Clusters, or
+// clusters not used by both packets) are masked out of the overflow
+// word, which reproduces AccumSMT's skip rules exactly. The
+// differential tests in packed_test.go and the simulator's
+// batch-vs-solo suite enforce bit-identity with Select.
+
+const (
+	// packMax bounds every packed per-cluster count and machine limit;
+	// beyond it the byte arithmetic could carry and callers must use
+	// the plain path. Real machines are nowhere near it (the default
+	// issue width is 4).
+	packMax = 63
+
+	packLow7 = 0x7f7f7f7f7f7f7f7f // 127 in every byte
+	packHigh = 0x8080808080808080 // bit 7 of every byte
+	packRep  = 0x0101010101010101 // broadcast multiplier
+	packDiag = 0x8040201008040201 // bit c in byte c
+)
+
+// PackedOcc is an occupancy in SWAR form: byte c of each word is the
+// cluster-c count of that slot class, CM is the used-cluster bitmask
+// and Ops the total operation count.
+type PackedOcc struct {
+	T, M, L, B uint64 // Total / Mul / Mem (load-store) / Branch per cluster
+	CM         uint8
+	Ops        uint8
+}
+
+// PackOcc converts an occupancy to packed form. It reports false when
+// any per-cluster count exceeds packMax, in which case the caller must
+// keep the plain evaluator.
+func PackOcc(o *isa.Occupancy) (PackedOcc, bool) {
+	var p PackedOcc
+	for c := 0; c < isa.MaxClusters; c++ {
+		u := &o.Clusters[c]
+		if u.Total > packMax || u.Mul > packMax || u.Mem > packMax || u.Branch > packMax {
+			return PackedOcc{}, false
+		}
+		sh := uint(8 * c)
+		p.T |= uint64(u.Total) << sh
+		p.M |= uint64(u.Mul) << sh
+		p.L |= uint64(u.Mem) << sh
+		p.B |= uint64(u.Branch) << sh
+		if u.Total > 0 {
+			p.CM |= 1 << uint(c)
+		}
+	}
+	p.Ops = o.Ops
+	return p, true
+}
+
+// PackedLimits is a machine's issue constraints in SWAR form: byte c of
+// each word is 127-limit for that slot class on cluster c, so a packed
+// sum exceeds the limit exactly when adding the constant sets bit 7.
+// Bytes for clusters the machine does not have are zero — with counts
+// capped at packMax the test bit can never fire there, mirroring the
+// plain path's c < Machine.Clusters loop bound.
+type PackedLimits struct {
+	KT, KM, KL, KB uint64
+}
+
+// PackLimits converts a machine's merge constraints to packed form. It
+// reports false when any limit exceeds packMax (the SWAR byte headroom),
+// in which case callers must keep the plain evaluator.
+func PackLimits(m *isa.Machine) (PackedLimits, bool) {
+	var lim PackedLimits
+	if m.Clusters > isa.MaxClusters || m.IssueWidth > packMax || m.Muls > packMax || m.MemUnits > packMax {
+		return lim, false
+	}
+	for c := 0; c < m.Clusters; c++ {
+		sh := uint(8 * c)
+		lim.KT |= uint64(127-m.IssueWidth) << sh
+		lim.KM |= uint64(127-m.Muls) << sh
+		lim.KL |= uint64(127-m.MemUnits) << sh
+		br := 0
+		if c < m.BranchClusters {
+			br = 1
+		}
+		lim.KB |= uint64(127-br) << sh
+	}
+	return lim, true
+}
+
+// spread80 expands a cluster bitmask to a word with bit 7 set in byte c
+// exactly when bit c is set — the overflow-test positions of the
+// clusters in the mask.
+//
+//vliw:hotpath
+func spread80(m uint8) uint64 {
+	x := uint64(m) * packRep & packDiag
+	return (x + packLow7) & packHigh
+}
+
+// pentry is one packed-stack scratch entry: an accumulated packet plus
+// the ports it covers.
+type pentry struct {
+	T, M, L, B uint64
+	cm, ops    uint8
+	mask       uint32
+}
+
+// SelectPacked selects exactly like Select, but from the batch-wide
+// packed-occupancy dictionary d: ids[p] is the dictionary index of port
+// p's candidate (read only where valid has the bit set). It returns the
+// selected-port mask and the merged packet's operation count — the only
+// two facts of a Selection the batched cycle loop consumes. lim must be
+// PackLimits of the same machine Select would receive, and every
+// dictionary entry must have come from PackOcc of the corresponding
+// candidate; under those premises the differential suites hold this
+// bit-identical to Select.
+//
+//vliw:hotpath
+func (c *Compiled) SelectPacked(d []PackedOcc, lim *PackedLimits, ids []int32, valid uint32) (uint32, uint8) {
+	switch c.kind {
+	case evalFoldCSMT:
+		return c.packedFoldCSMT(d, ids, valid)
+	case evalFoldSMT, evalFoldMixed:
+		return c.packedFold(d, lim, ids, valid)
+	}
+	return c.packedStack(d, lim, ids, valid)
+}
+
+// packedFoldCSMT is the pure-CSMT fold: disjointness is the cluster
+// masks alone, and since no later step needs slot counts the
+// accumulator is just (mask, clusters, ops).
+//
+//vliw:hotpath
+func (c *Compiled) packedFoldCSMT(d []PackedOcc, ids []int32, valid uint32) (uint32, uint8) {
+	var cm, ops uint8
+	var mask uint32
+	for i := range c.steps {
+		p := c.steps[i].port
+		if valid&(1<<p) == 0 {
+			continue
+		}
+		s := &d[ids[p]]
+		if cm&s.CM != 0 {
+			continue
+		}
+		cm |= s.CM
+		ops += s.Ops
+		mask |= 1 << p
+	}
+	return mask, ops
+}
+
+// packedFold is the left-deep fold for SMT and mixed cascades: the base
+// packet accumulates accepted candidates, CSMT levels testing cluster
+// disjointness and SMT levels the SWAR capacity check.
+//
+//vliw:hotpath
+func (c *Compiled) packedFold(d []PackedOcc, lim *PackedLimits, ids []int32, valid uint32) (uint32, uint8) {
+	var aT, aM, aL, aB uint64
+	var cm, ops uint8
+	var mask uint32
+	for i := range c.steps {
+		st := &c.steps[i]
+		p := st.port
+		if valid&(1<<p) == 0 {
+			continue
+		}
+		s := &d[ids[p]]
+		if mask == 0 {
+			aT, aM, aL, aB = s.T, s.M, s.L, s.B
+			cm, ops = s.CM, s.Ops
+			mask = 1 << p
+			continue
+		}
+		if st.kind == CSMT {
+			if cm&s.CM != 0 {
+				continue
+			}
+		} else {
+			both := spread80(cm & s.CM)
+			ex := ((aT + s.T + lim.KT) | (aM + s.M + lim.KM) |
+				(aL + s.L + lim.KL) | (aB + s.B + lim.KB)) & packHigh & both
+			if ex != 0 {
+				continue
+			}
+		}
+		aT += s.T
+		aM += s.M
+		aL += s.L
+		aB += s.B
+		cm |= s.CM
+		ops += s.Ops
+		mask |= 1 << p
+	}
+	return mask, ops
+}
+
+// packedStack runs the general post-order program on packed entries,
+// mirroring selectStack's merge rules (incompatible inputs dropped
+// whole, in input order).
+//
+//vliw:hotpath
+func (c *Compiled) packedStack(d []PackedOcc, lim *PackedLimits, ids []int32, valid uint32) (uint32, uint8) {
+	st := c.pstack
+	sp := 0
+	for _, ins := range c.prog {
+		if ins.op == opLeaf {
+			p := ins.arg
+			if valid&(1<<p) != 0 {
+				s := &d[ids[p]]
+				st[sp] = pentry{T: s.T, M: s.M, L: s.L, B: s.B, cm: s.CM, ops: s.Ops, mask: 1 << p}
+			} else {
+				st[sp] = pentry{}
+			}
+			sp++
+			continue
+		}
+		base := sp - int(ins.arg)
+		acc := st[base]
+		for i := base + 1; i < sp; i++ {
+			s := &st[i]
+			if s.mask == 0 {
+				continue
+			}
+			if acc.mask == 0 {
+				acc = *s
+				continue
+			}
+			if ins.op == opMergeCSMT {
+				if acc.cm&s.cm != 0 {
+					continue
+				}
+			} else {
+				both := spread80(acc.cm & s.cm)
+				ex := ((acc.T + s.T + lim.KT) | (acc.M + s.M + lim.KM) |
+					(acc.L + s.L + lim.KL) | (acc.B + s.B + lim.KB)) & packHigh & both
+				if ex != 0 {
+					continue
+				}
+			}
+			acc.T += s.T
+			acc.M += s.M
+			acc.L += s.L
+			acc.B += s.B
+			acc.cm |= s.cm
+			acc.ops += s.ops
+			acc.mask |= s.mask
+		}
+		st[base] = acc
+		sp = base + 1
+	}
+	return st[0].mask, st[0].ops
+}

@@ -1,0 +1,160 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"vliwmt/internal/isa"
+)
+
+// packDict converts a candidate set to the dictionary + id form
+// SelectPacked consumes: every distinct candidate value becomes one
+// dictionary entry (here simply one entry per port, which is a legal —
+// if maximally redundant — dictionary).
+func packDict(t *testing.T, vals []isa.Occupancy) ([]PackedOcc, []int32) {
+	t.Helper()
+	d := make([]PackedOcc, len(vals))
+	ids := make([]int32, len(vals))
+	for p := range vals {
+		po, ok := PackOcc(&vals[p])
+		if !ok {
+			t.Fatalf("candidate %d unpackable: %+v", p, vals[p])
+		}
+		d[p] = po
+		ids[p] = int32(p)
+	}
+	return d, ids
+}
+
+// TestSelectPackedMatchesSelect is the packed-path differential: on the
+// paper's schemes plus random trees, random machines and random
+// candidate sets, SelectPacked must agree with Select on the selected
+// mask and the merged packet's operation count — the two facts the
+// batched simulator consumes.
+func TestSelectPackedMatchesSelect(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	machines := []isa.Machine{isa.Default()}
+	for i := 0; i < 4; i++ {
+		m := isa.Default()
+		m.Clusters = 1 + r.Intn(isa.MaxClusters)
+		m.IssueWidth = 1 + r.Intn(8)
+		m.Muls = 1 + r.Intn(4)
+		m.MemUnits = 1 + r.Intn(4)
+		m.BranchClusters = r.Intn(m.Clusters + 1)
+		machines = append(machines, m)
+	}
+	check := func(c *Compiled, m *isa.Machine, vals []isa.Occupancy, valid uint32) {
+		t.Helper()
+		lim, ok := PackLimits(m)
+		if !ok {
+			t.Fatalf("machine unpackable: %+v", m)
+		}
+		d, ids := packDict(t, vals)
+		ref := c.Select(m, vals, valid)
+		mask, ops := c.SelectPacked(d, &lim, ids, valid)
+		if mask != ref.Mask || ops != ref.Occ.Ops {
+			t.Fatalf("%s on %+v: packed (mask %04b, ops %d) != reference (mask %04b, ops %d), valid %04b",
+				c.Name(), *m, mask, ops, ref.Mask, ref.Occ.Ops, valid)
+		}
+	}
+
+	for _, name := range []string{"3SSS", "3CCC", "C4", "C8", "2SC3", "3SCC", "2C3S", "2SS", "2CC", "2CS", "2SC", "1S"} {
+		ports := 4
+		if name == "C8" {
+			ports = 8
+		}
+		if name == "1S" {
+			ports = 2
+		}
+		c := Compile(mustParse(t, name, ports))
+		for _, m := range machines {
+			mm := m
+			for i := 0; i < 60; i++ {
+				vals, valid := pack(randomCands(r, &mm, ports))
+				check(c, &mm, vals, valid)
+			}
+		}
+	}
+
+	// Random trees exercise the stack evaluator's nested merges.
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + r.Intn(7)
+		c := Compile(randomTree(r, n))
+		for _, m := range machines {
+			mm := m
+			for i := 0; i < 15; i++ {
+				vals, valid := pack(randomCands(r, &mm, n))
+				check(c, &mm, vals, valid)
+			}
+		}
+	}
+}
+
+// TestPackOccRoundTrip pins the packed encoding: per-cluster counts land
+// in the right bytes, the cluster mask matches UsedClusters, and
+// over-limit counts are rejected.
+func TestPackOccRoundTrip(t *testing.T) {
+	var o isa.Occupancy
+	o.Clusters[0] = isa.ClusterUse{Total: 3, Mul: 1, Mem: 2, Branch: 0}
+	o.Clusters[3] = isa.ClusterUse{Total: 5, Mul: 0, Mem: 0, Branch: 1}
+	o.Ops = 8
+	p, ok := PackOcc(&o)
+	if !ok {
+		t.Fatal("packable occupancy rejected")
+	}
+	if got := uint8(p.T >> 24); got != 5 {
+		t.Errorf("cluster 3 total byte = %d, want 5", got)
+	}
+	if got := uint8(p.L); got != 2 {
+		t.Errorf("cluster 0 mem byte = %d, want 2", got)
+	}
+	if got := uint8(p.B >> 24); got != 1 {
+		t.Errorf("cluster 3 branch byte = %d, want 1", got)
+	}
+	if p.CM != isa.UsedClusters(&o) {
+		t.Errorf("CM = %08b, want UsedClusters %08b", p.CM, isa.UsedClusters(&o))
+	}
+	if p.Ops != 8 {
+		t.Errorf("Ops = %d, want 8", p.Ops)
+	}
+
+	o.Clusters[1].Total = packMax + 1
+	if _, ok := PackOcc(&o); ok {
+		t.Error("occupancy with count > packMax accepted")
+	}
+}
+
+// TestPackLimitsRejectsWideMachines: limits beyond the SWAR byte
+// headroom must force the plain path.
+func TestPackLimitsRejectsWideMachines(t *testing.T) {
+	m := isa.Default()
+	if _, ok := PackLimits(&m); !ok {
+		t.Fatal("default machine must be packable")
+	}
+	m.IssueWidth = packMax + 1
+	if _, ok := PackLimits(&m); ok {
+		t.Error("machine with IssueWidth > packMax accepted")
+	}
+}
+
+// TestSelectPackedZeroAllocs: the packed path shares the plain path's
+// per-cycle contract — no heap traffic.
+func TestSelectPackedZeroAllocs(t *testing.T) {
+	m := isa.Default()
+	lim, ok := PackLimits(&m)
+	if !ok {
+		t.Fatal("default machine must be packable")
+	}
+	r := rand.New(rand.NewSource(13))
+	for _, name := range []string{"3SSS", "3CCC", "2SC3", "2SS", "C4"} {
+		c := Compile(mustParse(t, name, 4))
+		vals, valid := pack(randomCands(r, &m, 4))
+		d, ids := packDict(t, vals)
+		allocs := testing.AllocsPerRun(200, func() {
+			c.SelectPacked(d, &lim, ids, valid)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: SelectPacked allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+}

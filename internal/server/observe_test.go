@@ -264,7 +264,12 @@ func TestJobErrorsSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 	good, bad := jobs[0], jobs[1]
-	good.InstrLimit = 100_000 // cushion so the stream attaches mid-sweep
+	// Cushion so the stream attaches mid-sweep: the good job must
+	// outlast the HTTP round-trip that subscribes to the event stream,
+	// or the per-job replay log is already dropped (finish keeps only
+	// the terminal event). Sized well above the simulator's current
+	// throughput without bloating the race-detector run.
+	good.InstrLimit = 1_500_000
 	bad.Machine.BranchPenalty = -1
 	req := api.SweepRequest{Jobs: []api.Job{api.JobFrom(good), api.JobFrom(bad)}, Workers: 1}
 

@@ -1,0 +1,694 @@
+// Batched execution: one cycle loop advancing N independent jobs
+// ("lanes") that share the same task list. Jobs in a batch share the
+// compiled programs — flattened once into program.Plan tables — while
+// every lane keeps its own selector, caches, walkers and OS scheduler,
+// so a lane at global cycle c behaves exactly as the same job would at
+// its own cycle c running alone. The differential tests in
+// batch_test.go enforce bit-identity against Run and refsim.
+//
+// Layout: the per-task context state (readyAt / fetched / done /
+// current-instruction vectors, per-thread stats) lives in flat
+// struct-of-arrays backing allocated once per batch and subsliced per
+// lane, so the cycle loop walks contiguous memory instead of chasing
+// per-task heap objects.
+//
+// Scheduling: the driver is epoch-major (see batchEpoch) — each live
+// lane executes its own consecutive cycles until it sleeps past the
+// epoch boundary, finishes or times out, then the next lane runs its
+// epoch. Lanes carry a wake cycle: an active lane wakes at cycle+1,
+// an all-stalled lane bulk-accounts its stall span exactly like the
+// solo fast-forward and sleeps until its next event. When every
+// surviving lane sleeps past the boundary, the clock jumps straight to
+// the minimum wake — the batch-wide fast-forward the telemetry counts.
+//
+// Selection runs on a batch-wide packed occupancy dictionary (see
+// merge.SelectPacked): the gather records dictionary IDs, and the merge
+// stage answers cluster disjointness and SMT slot capacity with a few
+// 64-bit SWAR operations instead of per-cluster loops over Occupancy
+// structs.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"vliwmt/internal/cache"
+	"vliwmt/internal/isa"
+	"vliwmt/internal/merge"
+	"vliwmt/internal/program"
+)
+
+// selEmptyOps flags a packed selection whose merged word retires zero
+// operations; the low bits are the selected-port mask (selector widths
+// are far below 31 ports, so the flag bit can never collide).
+const selEmptyOps = uint32(1) << 31
+
+// lane is one job of a batch: the full solo-run state (selector,
+// caches, walkers, OS scheduler, result accumulators) plus the wake
+// cycle the driver schedules it by. The context-state slices alias the
+// batch's shared SoA backing.
+type lane struct {
+	cfg Config
+	m   isa.Machine
+	sel merge.Selector
+	// comp is sel when it is the stateless compiled evaluator; nil for
+	// the stateful baselines (BMT keeps cross-cycle state and must see
+	// every Select call, so it gets neither packed dictionary nor fast
+	// paths).
+	comp   *merge.Compiled
+	ic, dc *cache.Cache
+
+	// Per-task context state, subsliced from the batch SoA backing.
+	walkers []*program.Walker
+	cur     []int32 // flat plan index of the current instruction
+	readyAt []int64
+	fetched []bool
+	done    []bool
+	stats   []ThreadStats
+
+	// OS scheduling state, as in core.
+	running []int
+	pool    []int
+	osRng   rng
+	slicing bool
+	nCtx    int
+	// nextSlice is the next timeslice boundary. The solo loop's stall
+	// fast-forward never jumps past a boundary (nextEvent caps the
+	// span there), so the cycle loop visits every boundary exactly and
+	// an absolute next-boundary cycle replaces the per-cycle modulo.
+	nextSlice int64
+	// rotMask is nCtx-1 when nCtx is a power of two (priority rotation
+	// by mask instead of division), -1 otherwise.
+	rotMask   int64
+	fixedPrio bool
+
+	// Per-cycle buffers, as in core. cands is nil when the lane runs on
+	// the packed dictionary — then the gather records IDs only and the
+	// merge stage never touches an Occupancy.
+	cands  []isa.Occupancy
+	candID []int32
+	ports  []int
+
+	// Packed selection state: pd aliases the batch-wide packed
+	// occupancy dictionary and plim holds the machine's SWAR limit
+	// constants. pd is nil when the lane must use the plain evaluator
+	// (stateful selector, or counts/limits beyond the packing headroom).
+	pd   []merge.PackedOcc
+	plim merge.PackedLimits
+
+	res               *Result
+	ffSpans, ffCycles int64
+
+	// wakeAt is the next global cycle at which this lane must step.
+	wakeAt   int64
+	finished bool
+	endCycle int64
+}
+
+// batchCore is the shared per-batch state: the task list, the compiled
+// plans (shared across lanes), the occupancy ID bases that globalise
+// per-plan IDs, and the driver's live-lane list and telemetry
+// accumulators.
+type batchCore struct {
+	tasks   []Task
+	plans   []*program.Plan
+	occBase []int32
+	codeOff []uint64
+	// plis[ti] is plans[ti].Instrs, flattened to one slice-header array
+	// so the gather loop reaches a PlannedInstr in a single hop.
+	plis  [][]program.PlannedInstr
+	lanes []*lane
+	live  []*lane
+	// occCycles[k] accumulates cycles during which k lanes were live;
+	// reconstructed exactly from the lanes' end cycles after the loop
+	// (occupancy over time is a step function of the sorted end cycles)
+	// and flushed into the lane-occupancy histogram at finalize.
+	occCycles []int64
+	// bFFSpans/bFFCycles count batch-wide fast-forward jumps (every
+	// live lane sleeping past an epoch boundary) and the cycles they
+	// skipped.
+	bFFSpans, bFFCycles int64
+}
+
+// batchEpoch is the driver's scheduling quantum: each live lane is
+// advanced through up to this many consecutive cycles before the next
+// lane runs. Lanes share no mutable state, so running one lane's
+// cycles back to back cannot change anything it computes — it only
+// keeps the lane's working set (walkers, cache tag arrays, context
+// state) hot instead of re-faulting it every simulated cycle, which is
+// where a cycle-interleaved driver loses to the solo loop. The epoch
+// also bounds clock skew between lanes: at every epoch boundary the
+// whole batch has reached the same cycle, which is what makes the
+// batch-wide fast-forward (jumping the shared clock over spans where
+// every lane sleeps) well defined.
+const batchEpoch = 4096
+
+// RunBatch simulates len(cfgs) independent jobs that share one task
+// list, returning one Result per config in order. Every Result is
+// bit-identical to Run(cfgs[i], tasks): batching changes how cycles
+// are interleaved across jobs, never what any job computes. Configs
+// may differ freely (scheme, contexts, caches, seeds, limits); only
+// the tasks must be common, which is what the sweep engine's
+// shape-grouping guarantees.
+func RunBatch(cfgs []Config, tasks []Task) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	b := &batchCore{
+		tasks:     tasks,
+		plans:     make([]*program.Plan, len(tasks)),
+		occBase:   make([]int32, len(tasks)),
+		codeOff:   make([]uint64, len(tasks)),
+		lanes:     make([]*lane, len(cfgs)),
+		occCycles: make([]int64, len(cfgs)+1),
+	}
+	totalOccs := 0
+	for i, t := range tasks {
+		if t.Prog == nil {
+			return nil, fmt.Errorf("sim: task %d (%s) has no program", i, t.Name)
+		}
+		b.plans[i] = program.NewPlan(t.Prog)
+		b.occBase[i] = int32(totalOccs)
+		b.codeOff[i] = uint64(i+1) << 32
+		totalOccs += b.plans[i].NumOccs
+	}
+	// Bake the per-task constants into the plan records: the fetch
+	// address gets the task's code-segment offset (matching the
+	// walker's own relocation) and the occupancy ID its batch-wide
+	// dictionary base. Plans are per-task and freshly built per batch,
+	// so the bake is free of aliasing — and it removes two lookups and
+	// two adds from every port of every simulated cycle.
+	b.plis = make([][]program.PlannedInstr, len(tasks))
+	for i := range tasks {
+		instrs := b.plans[i].Instrs
+		for j := range instrs {
+			instrs[j].Addr += b.codeOff[i]
+			instrs[j].OccID += b.occBase[i]
+		}
+		b.plis[i] = instrs
+	}
+	// Pack the batch-wide occupancy dictionary for the SWAR merge fast
+	// path. Dictionary IDs are already global, so one table serves every
+	// lane; a single unpackable occupancy (a count beyond the SWAR byte
+	// headroom — unreachable for realistic machines) disables the packed
+	// path for the whole batch.
+	pd := make([]merge.PackedOcc, totalOccs)
+	for i := range b.plis {
+		for j := range b.plis[i] {
+			pi := &b.plis[i][j]
+			po, ok := merge.PackOcc(&pi.Occ)
+			if !ok {
+				pd = nil
+				break
+			}
+			pd[pi.OccID] = po
+		}
+		if pd == nil {
+			break
+		}
+	}
+
+	nt := len(tasks)
+	// SoA backing for the per-[job][task] context state.
+	curAll := make([]int32, len(cfgs)*nt)
+	readyAll := make([]int64, len(cfgs)*nt)
+	fetchedAll := make([]bool, len(cfgs)*nt)
+	doneAll := make([]bool, len(cfgs)*nt)
+	statsAll := make([]ThreadStats, len(cfgs)*nt)
+
+	for li, cfg := range cfgs {
+		cfg, sel, ic, dc, err := setupRun(cfg, tasks)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d: %w", li, err)
+		}
+		l := &lane{
+			cfg:       cfg,
+			m:         cfg.Machine,
+			sel:       sel,
+			ic:        ic,
+			dc:        dc,
+			walkers:   make([]*program.Walker, nt),
+			cur:       curAll[li*nt : (li+1)*nt],
+			readyAt:   readyAll[li*nt : (li+1)*nt],
+			fetched:   fetchedAll[li*nt : (li+1)*nt],
+			done:      doneAll[li*nt : (li+1)*nt],
+			stats:     statsAll[li*nt : (li+1)*nt],
+			running:   make([]int, cfg.Contexts),
+			pool:      make([]int, 0, nt),
+			osRng:     rng{s: osSeed(&cfg)},
+			slicing:   nt > cfg.Contexts,
+			nCtx:      cfg.Contexts,
+			nextSlice: cfg.TimesliceCycles,
+			rotMask:   -1,
+			fixedPrio: cfg.FixedPriority,
+			cands:     make([]isa.Occupancy, cfg.Contexts),
+			candID:    make([]int32, cfg.Contexts),
+			ports:     make([]int, cfg.Contexts),
+			res: &Result{
+				MergeHist:  make([]int64, cfg.Contexts+1),
+				IssueWidth: cfg.Machine.TotalIssueWidth(),
+			},
+		}
+		if cfg.Contexts&(cfg.Contexts-1) == 0 {
+			l.rotMask = int64(cfg.Contexts - 1)
+		}
+		if c, ok := sel.(*merge.Compiled); ok {
+			l.comp = c
+			if pd != nil {
+				if lim, ok := merge.PackLimits(&cfg.Machine); ok {
+					l.pd = pd
+					l.plim = lim
+					// The packed path selects from dictionary IDs alone;
+					// dropping the value buffer removes the 33-byte
+					// occupancy copy from every gathered port.
+					l.cands = nil
+				}
+			}
+		}
+		for i, t := range tasks {
+			l.walkers[i] = newTaskWalker(&cfg, i, t)
+			l.stats[i].Name = t.Name
+			l.pool = append(l.pool, i)
+		}
+		for i := range l.running {
+			l.running[i] = -1
+		}
+		l.schedule()
+		b.lanes[li] = l
+	}
+
+	b.live = make([]*lane, len(b.lanes))
+	copy(b.live, b.lanes)
+	b.runLoop()
+	b.accountOccupancy()
+
+	results := make([]*Result, len(b.lanes))
+	for i, l := range b.lanes {
+		results[i] = l.finalize()
+	}
+	recordBatchMetrics(b)
+	return results, nil
+}
+
+// runLoop is the batch driver: epoch-major, lane-minor, cycle-inner.
+// Each pass gives every live lane one epoch — the lane executes its
+// own cycles back to back (lane.wakeAt is always the lane's next
+// execution cycle, so the inner loop is cycle-accurate) until it
+// sleeps past the epoch boundary, finishes its instruction budget or
+// times out at MaxCycles. When every surviving lane's next event lies
+// beyond the boundary, the shared clock jumps straight to the minimum
+// — the batch-wide fast-forward. Lane order is irrelevant to results:
+// lanes share only immutable plans, so the swap-removal cannot affect
+// determinism.
+//
+//vliw:hotpath
+func (b *batchCore) runLoop() {
+	live := b.live
+	var cycle int64
+	for len(live) > 0 {
+		end := cycle + batchEpoch
+		next := int64(math.MaxInt64)
+		n := len(live)
+		for i := 0; i < n; {
+			l := live[i]
+			removed := false
+			for {
+				c := l.wakeAt
+				if c >= l.cfg.MaxCycles {
+					// Timed out: the solo loop exits at exactly MaxCycles.
+					l.endCycle = l.cfg.MaxCycles
+					removed = true
+					break
+				}
+				if c >= end {
+					break
+				}
+				if l.nCtx == 1 {
+					l.stepSingle(b, c)
+				} else {
+					l.step(b, c)
+				}
+				if l.finished {
+					// The solo loop increments past the finishing cycle
+					// before exiting; Cycles = cycle+1.
+					l.endCycle = c + 1
+					removed = true
+					break
+				}
+			}
+			if removed {
+				n--
+				live[i] = live[n]
+				live = live[:n]
+				continue
+			}
+			// The lane's next event is its wake or its timeout,
+			// whichever comes first.
+			w := l.wakeAt
+			if l.cfg.MaxCycles < w {
+				w = l.cfg.MaxCycles
+			}
+			if w < next {
+				next = w
+			}
+			i++
+		}
+		if n == 0 {
+			break
+		}
+		if next > end {
+			// Every live lane slept past the epoch boundary: jump the
+			// shared clock over the dead span in one step.
+			b.bFFSpans++
+			b.bFFCycles += next - end
+			cycle = next
+		} else {
+			cycle = end
+		}
+	}
+	b.live = live
+}
+
+// accountOccupancy reconstructs the exact cycle-weighted lane
+// occupancy from the lanes' end cycles: a lane is in flight for cycles
+// [0, endCycle), so occupancy over time is the step function of the
+// end cycles sorted ascending — len(lanes) lanes up to the earliest
+// end, one fewer to the next, and so on. This is bit-exact per-cycle
+// accounting at O(n log n) per batch instead of bookkeeping in the
+// hot loop.
+func (b *batchCore) accountOccupancy() {
+	ends := make([]int64, len(b.lanes))
+	for i, l := range b.lanes {
+		ends[i] = l.endCycle
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	var prev int64
+	for i, e := range ends {
+		if e > prev {
+			b.occCycles[len(ends)-i] += e - prev
+			prev = e
+		}
+	}
+}
+
+// schedule mirrors core.schedule on the lane's SoA state. The
+// order-preserving O(n) pool delete is deliberate — see core.schedule.
+//
+//vliw:hotpath
+func (l *lane) schedule() {
+	for ctx, ti := range l.running {
+		if ti >= 0 && !l.done[ti] {
+			l.pool = append(l.pool, ti)
+		}
+		l.running[ctx] = -1
+	}
+	for ctx := 0; ctx < l.cfg.Contexts && len(l.pool) > 0; ctx++ {
+		k := l.osRng.intn(len(l.pool))
+		l.running[ctx] = l.pool[k]
+		l.pool = append(l.pool[:k], l.pool[k+1:]...)
+	}
+}
+
+// nextEvent mirrors core.nextEvent on the lane's SoA state.
+//
+//vliw:hotpath
+func (l *lane) nextEvent(now int64) int64 {
+	next := l.cfg.MaxCycles
+	if l.slicing && l.nextSlice < next {
+		// nextSlice is maintained by step: when this runs it is always
+		// the first boundary after now, so no division is needed.
+		next = l.nextSlice
+	}
+	for _, ti := range l.running {
+		if ti < 0 || l.done[ti] {
+			continue
+		}
+		e := l.readyAt[ti]
+		if e <= now {
+			e = now + 1
+		}
+		if e < next {
+			next = e
+		}
+	}
+	if next <= now {
+		next = now + 1
+	}
+	return next
+}
+
+// step advances a multi-context lane by one cycle at global cycle
+// `cycle`, mirroring one iteration of core.run: timeslice scheduling,
+// priority rotation, candidate gathering (plan-driven — the occupancy
+// and fetch address come from the flat PlannedInstr record), merge
+// selection, retirement. An all-stalled cycle bulk-accounts the stall
+// span and sleeps the lane, exactly like the solo fast-forward.
+//
+//vliw:hotpath
+func (l *lane) step(b *batchCore, cycle int64) {
+	if l.slicing && cycle == l.nextSlice {
+		l.schedule()
+		l.nextSlice = cycle + l.cfg.TimesliceCycles
+	}
+	nCtx := l.nCtx
+	rot := 0
+	if !l.fixedPrio {
+		if l.rotMask >= 0 {
+			rot = int(cycle & l.rotMask)
+		} else {
+			rot = int(cycle % int64(nCtx))
+		}
+	}
+	var valid uint32
+	for p := 0; p < nCtx; p++ {
+		ctx := p + rot
+		if ctx >= nCtx {
+			ctx -= nCtx
+		}
+		l.ports[p] = ctx
+		ti := l.running[ctx]
+		if ti < 0 {
+			continue
+		}
+		if l.done[ti] || l.readyAt[ti] > cycle {
+			continue
+		}
+		pi := &b.plis[ti][l.cur[ti]]
+		if !l.fetched[ti] {
+			l.fetched[ti] = true // the line arrives during any stall
+			if l.ic != nil && !l.ic.Access(pi.Addr, false) {
+				pen := int64(l.ic.MissPenalty())
+				l.readyAt[ti] = cycle + pen
+				l.stats[ti].StallFetch += pen
+				continue
+			}
+		}
+		if l.cands != nil {
+			l.cands[p] = pi.Occ
+		}
+		l.candID[p] = pi.OccID
+		valid |= 1 << uint(p)
+	}
+
+	if valid == 0 {
+		next := l.nextEvent(cycle)
+		span := next - cycle
+		l.res.MergeHist[0] += span
+		l.res.EmptyCycles += span
+		l.ffSpans++
+		l.ffCycles += span
+		l.wakeAt = next
+		return
+	}
+
+	selv := l.selectCands(valid)
+	mask := selv &^ selEmptyOps
+	l.res.MergeHist[bits.OnesCount32(mask)]++
+	if selv&selEmptyOps != 0 {
+		l.res.EmptyCycles++
+	}
+
+	for p := 0; p < nCtx; p++ {
+		if valid&(1<<uint(p)) == 0 {
+			continue
+		}
+		ti := l.running[l.ports[p]]
+		l.stats[ti].ScheduledCycles++
+		if mask&(1<<uint(p)) == 0 {
+			l.stats[ti].ConflictCycles++
+			continue
+		}
+		if l.retireOne(b, ti, cycle) {
+			l.done[ti] = true
+			l.finished = true
+		}
+	}
+	l.wakeAt = cycle + 1
+}
+
+// stepSingle advances a single-context lane by one cycle, mirroring
+// one iteration of core.runSingle.
+//
+//vliw:hotpath
+func (l *lane) stepSingle(b *batchCore, cycle int64) {
+	if l.slicing && cycle == l.nextSlice {
+		l.schedule()
+		l.nextSlice = cycle + l.cfg.TimesliceCycles
+	}
+	ti := l.running[0]
+	ready := ti >= 0 && !l.done[ti] && l.readyAt[ti] <= cycle
+	if ready && !l.fetched[ti] {
+		pi := &b.plis[ti][l.cur[ti]]
+		l.fetched[ti] = true // the line arrives during any stall
+		if l.ic != nil && !l.ic.Access(pi.Addr, false) {
+			pen := int64(l.ic.MissPenalty())
+			l.readyAt[ti] = cycle + pen
+			l.stats[ti].StallFetch += pen
+			ready = false
+		}
+	}
+	if !ready {
+		next := l.nextEvent(cycle)
+		span := next - cycle
+		l.res.MergeHist[0] += span
+		l.res.EmptyCycles += span
+		l.ffSpans++
+		l.ffCycles += span
+		l.wakeAt = next
+		return
+	}
+	pi := &b.plis[ti][l.cur[ti]]
+	l.res.MergeHist[1]++
+	if pi.Occ.Ops == 0 {
+		l.res.EmptyCycles++
+	}
+	l.stats[ti].ScheduledCycles++
+	if l.retireOne(b, ti, cycle) {
+		l.done[ti] = true
+		l.finished = true
+	}
+	l.wakeAt = cycle + 1
+}
+
+// selectCands runs the merge stage for the gathered candidates. For the
+// compiled evaluator — stateless across calls by construction — a lone
+// candidate is always selected whole (every tree node passes a single
+// non-empty input through unmerged), so the evaluator walk is skipped;
+// multi-candidate cycles evaluate in full, on the packed dictionary
+// when the lane qualifies. Stateful selectors (BMT) take the plain path
+// unconditionally.
+//
+// The return value is packed: the selected-port mask in the low bits
+// plus the selEmptyOps flag — the only two facts the cycle loop
+// consumes from a Selection.
+//
+//vliw:hotpath
+func (l *lane) selectCands(valid uint32) uint32 {
+	if l.comp == nil {
+		return packSelection(l.sel.Select(&l.m, l.cands, valid))
+	}
+	if valid&(valid-1) == 0 {
+		p := uint(bits.TrailingZeros32(valid))
+		var ops uint8
+		if l.pd != nil {
+			ops = l.pd[l.candID[p]].Ops
+		} else {
+			ops = l.cands[p].Ops
+		}
+		if ops == 0 {
+			return valid | selEmptyOps
+		}
+		return valid
+	}
+	return l.selectFull(valid)
+}
+
+// selectFull evaluates the compiled selector in full: on the packed
+// dictionary when the lane qualifies, on occupancy values otherwise.
+// Both forms produce the same packed selection — SelectPacked's
+// differential suite ties it to Select.
+//
+//vliw:hotpath
+func (l *lane) selectFull(valid uint32) uint32 {
+	if l.pd != nil {
+		mask, ops := l.comp.SelectPacked(l.pd, &l.plim, l.candID, valid)
+		if ops == 0 {
+			mask |= selEmptyOps
+		}
+		return mask
+	}
+	return packSelection(l.comp.Select(&l.m, l.cands, valid))
+}
+
+// packSelection compresses a Selection to the packed form the cycle
+// loop consumes: selected-port mask plus the zero-ops flag.
+func packSelection(s merge.Selection) uint32 {
+	v := s.Mask
+	if s.Occ.Ops == 0 {
+		v |= selEmptyOps
+	}
+	return v
+}
+
+// retireOne mirrors core.retireOne, driven by the task's plan: the
+// memory-op recipe and operation count come precomputed from the
+// PlannedInstr, and the successor is a flat index instead of walker
+// block/idx bookkeeping.
+//
+//vliw:hotpath
+func (l *lane) retireOne(b *batchCore, ti int, cycle int64) bool {
+	f := l.cur[ti]
+	next, mem, taken := l.walkers[ti].RetirePlan(b.plans[ti], f)
+	pi := &b.plans[ti].Instrs[f]
+	l.cur[ti] = next
+	l.fetched[ti] = false
+	l.stats[ti].Instrs++
+	l.stats[ti].Ops += int64(pi.Ops)
+	l.res.Instrs++
+	l.res.Ops += int64(pi.Ops)
+
+	var memStall, brStall int64
+	for i := range mem {
+		if l.dc != nil && !l.dc.Access(mem[i].Addr, mem[i].Store) {
+			memStall += int64(l.dc.MissPenalty())
+		}
+	}
+	if taken {
+		brStall = int64(l.m.BranchPenalty)
+	}
+	// Both a blocking miss and a squash stall the front end; they
+	// overlap, so the thread resumes after the longer of the two.
+	stall := memStall
+	if brStall > stall {
+		stall = brStall
+	}
+	if stall > 0 {
+		l.readyAt[ti] = cycle + 1 + stall
+		l.stats[ti].StallMem += memStall
+		l.stats[ti].StallBranch += brStall
+	}
+	return l.walkers[ti].Retired >= l.cfg.InstrLimit
+}
+
+// finalize closes the lane exactly like core.finalize closes a run.
+func (l *lane) finalize() *Result {
+	res := l.res
+	res.Cycles = l.endCycle
+	res.TimedOut = !l.finished
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Ops) / float64(res.Cycles)
+	}
+	for i := range l.stats {
+		res.Threads = append(res.Threads, l.stats[i])
+	}
+	if l.ic != nil {
+		res.ICache = l.ic.Stats
+	}
+	if l.dc != nil {
+		res.DCache = l.dc.Stats
+	}
+	recordRunMetrics(res, l.ffSpans, l.ffCycles)
+	return res
+}

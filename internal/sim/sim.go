@@ -263,19 +263,21 @@ func (c *core) nextEvent(now int64) int64 {
 	return next
 }
 
-// Run simulates tasks on the configured processor.
-func Run(cfg Config, tasks []Task) (*Result, error) {
+// setupRun validates cfg and tasks, applies the config defaults and
+// builds the per-run selector and caches. It is shared between Run and
+// RunBatch so a batch lane is configured exactly like a solo run.
+func setupRun(cfg Config, tasks []Task) (Config, merge.Selector, *cache.Cache, *cache.Cache, error) {
 	if err := cfg.Machine.Validate(); err != nil {
-		return nil, err
+		return cfg, nil, nil, nil, err
 	}
 	if len(tasks) == 0 {
-		return nil, fmt.Errorf("sim: no tasks")
+		return cfg, nil, nil, nil, fmt.Errorf("sim: no tasks")
 	}
 	if cfg.Contexts < 1 {
-		return nil, fmt.Errorf("sim: %d contexts", cfg.Contexts)
+		return cfg, nil, nil, nil, fmt.Errorf("sim: %d contexts", cfg.Contexts)
 	}
 	if cfg.InstrLimit < 1 {
-		return nil, fmt.Errorf("sim: instruction limit %d", cfg.InstrLimit)
+		return cfg, nil, nil, nil, fmt.Errorf("sim: instruction limit %d", cfg.InstrLimit)
 	}
 	if cfg.TimesliceCycles <= 0 {
 		cfg.TimesliceCycles = 1_000_000
@@ -291,38 +293,65 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 		sch := cfg.Merge
 		if sch.IsZero() {
 			if sch, err = merge.Resolve(cfg.Scheme); err != nil {
-				return nil, fmt.Errorf("sim: %w", err)
+				return cfg, nil, nil, nil, fmt.Errorf("sim: %w", err)
 			}
 		}
 		if sel, err = sch.Selector(cfg.Contexts); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+			return cfg, nil, nil, nil, fmt.Errorf("sim: %w", err)
 		}
 		if sel.Ports() != cfg.Contexts {
-			return nil, fmt.Errorf("sim: scheme %s has %d ports, machine has %d contexts", sch.Name(), sel.Ports(), cfg.Contexts)
+			return cfg, nil, nil, nil, fmt.Errorf("sim: scheme %s has %d ports, machine has %d contexts", sch.Name(), sel.Ports(), cfg.Contexts)
 		}
 	}
 	var ic, dc *cache.Cache
 	if !cfg.PerfectMemory {
 		if ic, err = cache.New(cfg.ICache); err != nil {
-			return nil, fmt.Errorf("sim: icache: %w", err)
+			return cfg, nil, nil, nil, fmt.Errorf("sim: icache: %w", err)
 		}
 		if dc, err = cache.New(cfg.DCache); err != nil {
-			return nil, fmt.Errorf("sim: dcache: %w", err)
+			return cfg, nil, nil, nil, fmt.Errorf("sim: dcache: %w", err)
 		}
 	}
+	m := cfg.Machine
+	for i, t := range tasks {
+		if t.Prog == nil {
+			return cfg, nil, nil, nil, fmt.Errorf("sim: task %d (%s) has no program", i, t.Name)
+		}
+		if err := t.Prog.Validate(&m); err != nil {
+			return cfg, nil, nil, nil, fmt.Errorf("sim: task %s: %w", t.Name, err)
+		}
+	}
+	return cfg, sel, ic, dc, nil
+}
 
+// newTaskWalker builds task i's walker: the seed derivation and the
+// per-task code/data relocation are part of the determinism contract
+// and must be identical on the solo and batched paths.
+func newTaskWalker(cfg *Config, i int, t Task) *program.Walker {
+	seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
+	return program.NewWalker(t.Prog, seed, uint64(i+1)<<32, uint64(i+1)<<33)
+}
+
+// osSeed derives the OS-scheduling RNG state from the run seed.
+func osSeed(cfg *Config) uint64 {
+	s := cfg.Seed ^ 0xd1b54a32d192ed03
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Run simulates tasks on the configured processor.
+func Run(cfg Config, tasks []Task) (*Result, error) {
+	cfg, sel, ic, dc, err := setupRun(cfg, tasks)
+	if err != nil {
+		return nil, err
+	}
 	m := cfg.Machine
 	states := make([]*taskState, len(tasks))
 	for i, t := range tasks {
-		if t.Prog == nil {
-			return nil, fmt.Errorf("sim: task %d (%s) has no program", i, t.Name)
-		}
-		if err := t.Prog.Validate(&m); err != nil {
-			return nil, fmt.Errorf("sim: task %s: %w", t.Name, err)
-		}
-		seed := cfg.Seed*0x9e3779b97f4a7c15 + uint64(i+1)*0xbf58476d1ce4e5b9
 		states[i] = &taskState{
-			walker: program.NewWalker(t.Prog, seed, uint64(i+1)<<32, uint64(i+1)<<33),
+			walker: newTaskWalker(&cfg, i, t),
 			stats:  ThreadStats{Name: t.Name},
 		}
 	}
@@ -336,16 +365,13 @@ func Run(cfg Config, tasks []Task) (*Result, error) {
 		states:  states,
 		running: make([]int, cfg.Contexts),
 		pool:    make([]int, 0, len(tasks)),
-		osRng:   rng{s: cfg.Seed ^ 0xd1b54a32d192ed03},
+		osRng:   rng{s: osSeed(&cfg)},
 		cands:   make([]isa.Occupancy, cfg.Contexts),
 		ports:   make([]int, cfg.Contexts),
 		res: &Result{
 			MergeHist:  make([]int64, cfg.Contexts+1),
 			IssueWidth: m.TotalIssueWidth(),
 		},
-	}
-	if c.osRng.s == 0 {
-		c.osRng.s = 1
 	}
 	for i := range tasks {
 		c.pool = append(c.pool, i)

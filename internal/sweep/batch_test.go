@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// TestBatchingDeterministic pins the engine-level half of the batching
+// contract: at every batch setting (off, auto, odd explicit caps) and
+// worker count the sweep returns the same results in the same job
+// order. Unit formation is a dispatch detail, never a semantic one.
+func TestBatchingDeterministic(t *testing.T) {
+	jobs, err := testGrid().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, batch := range []int{1, 0, 3, 100} {
+		for _, workers := range []int{1, 4} {
+			results, err := func() ([]Result, error) {
+				e := New(workers)
+				e.SetBatch(batch)
+				return e.Run(context.Background(), jobs)
+			}()
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+			}
+			for i, r := range results {
+				if r.Index != i {
+					t.Fatalf("batch=%d workers=%d: results reordered: index %d at position %d", batch, workers, r.Index, i)
+				}
+			}
+			got := fingerprint(t, results)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("batch=%d workers=%d diverged from the unbatched sweep:\n%s\nvs:\n%s",
+					batch, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchingProgressMonotonic verifies the ProgressFunc contract
+// survives batched dispatch: done increments by exactly one per call,
+// reaches the total, and every reported result is final (non-nil or
+// errored), even though a whole unit completes before its jobs report.
+func TestBatchingProgressMonotonic(t *testing.T) {
+	jobs, err := testGrid().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(4)
+	e.SetBatch(0)
+	var seq []int
+	e.SetProgress(func(done, total int, r Result) {
+		seq = append(seq, done)
+		if total != len(jobs) {
+			t.Errorf("progress total = %d, want %d", total, len(jobs))
+		}
+		if r.Res == nil && r.Err == nil {
+			t.Errorf("progress delivered a job with neither result nor error: %s", r.Job.Describe())
+		}
+	})
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(jobs) {
+		t.Fatalf("progress fired %d times for %d jobs", len(seq), len(jobs))
+	}
+	for i, d := range seq {
+		if d != i+1 {
+			t.Fatalf("progress done sequence not monotonic: got %v", seq)
+		}
+	}
+}
+
+// TestBatchUnitsShapeAndCap checks unit formation directly: units
+// partition the index space, each unit is shape-homogeneous (same
+// machine and benchmark list), units respect the cap, and batch=1
+// degenerates to singleton units.
+func TestBatchUnitsShapeAndCap(t *testing.T) {
+	jobs, err := testGrid().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{0, 1, 2, 3} {
+		e := New(1)
+		e.SetBatch(batch)
+		units := e.batchUnits(jobs)
+		cap := batch
+		if cap <= 0 {
+			cap = autoBatchCap
+		}
+		seen := make([]bool, len(jobs))
+		for _, u := range units {
+			if len(u) == 0 || len(u) > cap {
+				t.Fatalf("batch=%d: unit size %d outside (0,%d]", batch, len(u), cap)
+			}
+			key := shapeKey(jobs[u[0]])
+			for _, i := range u {
+				if seen[i] {
+					t.Fatalf("batch=%d: job %d dispatched twice", batch, i)
+				}
+				seen[i] = true
+				if shapeKey(jobs[i]) != key {
+					t.Fatalf("batch=%d: unit mixes shapes: %q vs %q", batch, shapeKey(jobs[i]), key)
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("batch=%d: job %d never dispatched", batch, i)
+			}
+		}
+		if batch == 1 && len(units) != len(jobs) {
+			t.Fatalf("batch=1 must yield singleton units, got %d units for %d jobs", len(units), len(jobs))
+		}
+	}
+}

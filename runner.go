@@ -62,6 +62,7 @@ type Runner struct {
 	progress func(done, total int, r SweepResult)
 	seed     uint64
 	store    *ResultStore
+	batch    int
 }
 
 // RunnerOption configures a Runner.
@@ -129,6 +130,16 @@ func WithStore(s *ResultStore) RunnerOption {
 			r.store = s
 		}
 	}
+}
+
+// WithBatch sets the sweep batching cap: how many shape-compatible
+// jobs (same machine, same benchmark list) the engine may advance
+// through one batched cycle loop. 0 (the default) groups automatically
+// up to the engine's cap; 1 disables batching and runs every job solo.
+// Batching is a throughput lever only — per-job results are
+// bit-identical at every setting.
+func WithBatch(n int) RunnerOption {
+	return func(r *Runner) { r.batch = n }
 }
 
 // WithResultDir enables result persistence.
@@ -207,5 +218,6 @@ func (r *Runner) SweepJobs(ctx context.Context, jobs []SweepJob) ([]SweepResult,
 	if r.store != nil {
 		e.SetStore(r.store)
 	}
+	e.SetBatch(r.batch)
 	return e.Run(ctx, jobs)
 }

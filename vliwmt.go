@@ -292,13 +292,18 @@ type SweepOptions struct {
 	// previously completed jobs are served from disk (marked Cached)
 	// and fresh simulations are persisted. See WithResultStore.
 	ResultDir string
+	// Batch caps how many shape-compatible jobs are advanced through
+	// one batched cycle loop: 0 groups automatically, 1 disables
+	// batching. Results are bit-identical at every setting; see
+	// WithBatch.
+	Batch int
 }
 
 // runner builds a one-call Runner on the process-wide compile cache
 // from legacy SweepOptions.
 func (o SweepOptions) runner() *Runner {
 	return NewRunner(WithSharedCache(), WithWorkers(o.Workers), WithProgress(o.Progress),
-		WithResultStore(o.ResultDir))
+		WithResultStore(o.ResultDir), WithBatch(o.Batch))
 }
 
 // Sweep expands the grid into jobs and executes them on a bounded worker

@@ -279,6 +279,75 @@ func BenchmarkStoreWarmSweep(b *testing.B) {
 	}
 }
 
+// generatedBenchGrid is storeBenchGrid over synthetic workloads: two
+// generated mixes named canonically, so every iteration regenerates
+// the kernels from their names before compiling — the full
+// name -> profile -> IR -> compile -> simulate pipeline the generative
+// conformance harness exercises, at the store benches' budget.
+func generatedBenchGrid() vliwmt.Grid {
+	return vliwmt.Grid{
+		Mixes:      []string{"genmix:LLHH:s1", "genmix:HHHH:s3"},
+		InstrLimit: 100_000,
+		Seed:       1,
+	}
+}
+
+// BenchmarkGeneratedSweepCold measures a cold sweep over generated
+// workloads: fresh store and compile cache each iteration, so kernel
+// generation and compilation are inside the measurement. The delta
+// against BenchmarkBatchedSweep (same shape over hand-written
+// benchmarks) is what generation costs a real sweep.
+func BenchmarkGeneratedSweepCold(b *testing.B) {
+	grid := generatedBenchGrid()
+	jobs := 0
+	for i := 0; i < b.N; i++ {
+		r := vliwmt.NewRunner(vliwmt.WithResultStore(b.TempDir()))
+		results, err := r.Sweep(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(results)
+		if st := r.Store().Stats(); st.Hits != 0 {
+			b.Fatalf("cold sweep hit the store: %+v", st)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
+// BenchmarkGeneratedSweepWarm is the same generated sweep served from
+// a warm store: generated jobs hash to the same content keys every
+// time (their canonical names are in the key), so the store serves
+// them without regenerating or simulating anything — proof that
+// generated workloads cache exactly like hand-written ones.
+func BenchmarkGeneratedSweepWarm(b *testing.B) {
+	grid := generatedBenchGrid()
+	dir := b.TempDir()
+	warm := vliwmt.NewRunner(vliwmt.WithResultStore(dir))
+	if _, err := warm.Sweep(context.Background(), grid); err != nil {
+		b.Fatal(err)
+	}
+	jobs := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := vliwmt.NewRunner(vliwmt.WithResultStore(dir))
+		results, err := r.Sweep(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(results)
+		if st := r.Store().Stats(); st.Misses != 0 {
+			b.Fatalf("warm sweep missed the store: %+v", st)
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(jobs)/sec, "jobs/s")
+	}
+}
+
 // BenchmarkRunnerReuse quantifies the Runner session's shared-compile-
 // cache win: repeated RunMix calls on one long-lived Runner (kernels
 // compiled once, every later call served from the cache) against the

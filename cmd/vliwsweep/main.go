@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"vliwmt"
+	"vliwmt/internal/api"
 	"vliwmt/internal/merge"
 	"vliwmt/internal/profiling"
 	"vliwmt/internal/report"
@@ -123,6 +124,7 @@ func main() {
 	log.SetPrefix("vliwsweep: ")
 	var (
 		addr       = flag.String("addr", "", "submit the grid to a remote vliwserve at this address instead of running in-process")
+		jobsFile   = flag.String("jobs", "", "read a sweep-request JSON document (a grid or an explicit job set, e.g. emitted by vliwgen) from this file, - for stdin; replaces -schemes/-mixes")
 		fabric     = flag.String("fabric", "", "submit the grid to a vliwfabric coordinator at this address (sharded across its worker pool)")
 		schemes    = flag.String("schemes", "", "comma-separated merge schemes — names or tree expressions like C(S(T0,T1),T2,T3) (default: the paper's sixteen)")
 		mixes      = flag.String("mixes", "", "comma-separated Table 2 mixes (default: all nine)")
@@ -192,6 +194,42 @@ func main() {
 		Seed:            *seed,
 		SharedSeed:      *sharedSeed,
 	}
+	// -jobs replaces the flag-built grid with a decoded request: a
+	// declarative grid, or an explicit job set (a vliwgen stream
+	// scenario) executed verbatim.
+	var jobs []vliwmt.SweepJob
+	if *jobsFile != "" {
+		if *schemes != "" || *mixes != "" {
+			fatal("-jobs carries its own grid or job set; drop -schemes/-mixes")
+		}
+		in := os.Stdin
+		if *jobsFile != "-" {
+			f, err := os.Open(*jobsFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		req, err := api.DecodeSweepRequest(in)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case len(req.Jobs) > 0:
+			for _, wj := range req.Jobs {
+				j, err := wj.Sweep()
+				if err != nil {
+					fatal(err)
+				}
+				jobs = append(jobs, j)
+			}
+		case req.Grid != nil:
+			grid = req.Grid.Sweep()
+		default:
+			fatal("-jobs document carries neither a grid nor a job set")
+		}
+	}
 	opts := &vliwmt.SweepOptions{Workers: *workers, ResultDir: *store, Batch: *batch}
 	if *progress {
 		opts.Progress = func(done, total int, r vliwmt.SweepResult) {
@@ -219,10 +257,16 @@ func main() {
 	var results []vliwmt.SweepResult
 	var err error
 	switch {
+	case *addr != "" && jobs != nil:
+		results, err = vliwmt.NewClient(*addr).SweepJobs(ctx, jobs, opts)
 	case *addr != "":
 		results, err = vliwmt.NewClient(*addr).Sweep(ctx, grid, opts)
+	case *fabric != "" && jobs != nil:
+		results, err = vliwmt.NewFabricClient(*fabric).SweepJobs(ctx, jobs, opts)
 	case *fabric != "":
 		results, err = vliwmt.NewFabricClient(*fabric).Sweep(ctx, grid, opts)
+	case jobs != nil:
+		results, err = vliwmt.SweepJobs(ctx, jobs, opts)
 	default:
 		results, err = vliwmt.Sweep(ctx, grid, opts)
 	}

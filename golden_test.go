@@ -61,3 +61,56 @@ func TestGoldenCorpus(t *testing.T) {
 		t.Fatalf("simulator output diverges from the golden corpus (bless intentional changes with `make golden`):\n%s", b.String())
 	}
 }
+
+// TestGeneratedGoldenCorpus replays the committed generated-workload
+// corpus (testdata/golden/generated.json — three generated mixes, six
+// schemes, both memory models). Its jobs name benchmarks by canonical
+// "gen:" names, so a replay regenerates every kernel from scratch: a
+// divergence means either the simulator or the workload generator
+// changed behaviour. Both are blessed the same way (`make golden`),
+// with the added duty for generator changes of noting in the commit
+// that all existing "gen:" names now mean different kernels.
+func TestGeneratedGoldenCorpus(t *testing.T) {
+	path := filepath.Join("testdata", "golden", "generated.json")
+	golden, err := vliwmt.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every job must draw its threads from generated benchmarks — the
+	// point of this corpus — and cover both memory models.
+	perMem := map[bool]int{}
+	for _, e := range golden.Entries {
+		j, err := e.Job.Sweep()
+		if err != nil {
+			t.Fatalf("entry %s: %v", e.Key, err)
+		}
+		perMem[j.PerfectMemory]++
+		for _, b := range j.Benchmarks {
+			if !strings.HasPrefix(b, "gen:") {
+				t.Errorf("entry %s carries non-generated benchmark %q", e.Key, b)
+			}
+		}
+	}
+	if perMem[false] == 0 || perMem[true] == 0 {
+		t.Errorf("corpus memory-model coverage %v; want both real and perfect", perMem)
+	}
+
+	jobs, err := golden.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := vliwmt.SweepJobs(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := vliwmt.SnapshotResults(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := vliwmt.DiffSnapshots(golden, live); !d.Clean() {
+		var b strings.Builder
+		d.WriteText(&b, "golden", "this build")
+		t.Fatalf("generated workloads diverge from the committed corpus (bless intentional simulator or generator changes with `make golden`):\n%s", b.String())
+	}
+}

@@ -44,6 +44,7 @@ var DeterministicPackages = map[string]bool{
 	"vliwmt/internal/ir":          true,
 	"vliwmt/internal/compiler":    true,
 	"vliwmt/internal/workload":    true,
+	"vliwmt/internal/wgen":        true,
 	"vliwmt/internal/sweep":       true,
 	"vliwmt/internal/resultstore": true,
 	"vliwmt/internal/fabric":      true,

@@ -12,6 +12,7 @@ import (
 	"vliwmt/internal/server"
 	"vliwmt/internal/sweep"
 	"vliwmt/internal/telemetry"
+	"vliwmt/internal/wgen"
 )
 
 // testJobs is a 2x2 grid: small enough to fan out quickly, large
@@ -117,6 +118,67 @@ func TestFabricDeterminism(t *testing.T) {
 					workers, i, r.Worker, r.Shard)
 			}
 		}
+	}
+}
+
+// TestFabricDeterminismGenerated extends the determinism contract to
+// synthetic workloads: random generated mixes (canonical "genmix:"
+// names, regenerated from the name on whichever box runs them) swept
+// solo (batching disabled), batched, and through a 2-worker fabric at
+// one job per shard must produce bit-identical snapshots. This is the
+// end-to-end proof that a generated benchmark's name alone is a
+// sufficient wire format.
+func TestFabricDeterminismGenerated(t *testing.T) {
+	mixes := 4
+	if testing.Short() {
+		mixes = 2
+	}
+	rng := wgen.NewRand(1009)
+	combos := []string{"LLHH", "LMMH", "HHHH", "LLLL"}
+	var mixNames []string
+	for i := 0; i < mixes; i++ {
+		name, err := wgen.MixName(combos[i%len(combos)], rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixNames = append(mixNames, name)
+	}
+	jobs, err := sweep.Grid{
+		Schemes:    []string{"2SC3", "C4", "IMT"},
+		Mixes:      mixNames,
+		InstrLimit: 4_000,
+		Seed:       rng.Uint64(),
+	}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solo := sweep.New(0)
+	solo.SetBatch(1)
+	soloResults, err := solo.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotOf(t, soloResults)
+
+	batched := sweep.New(0)
+	batched.SetBatch(0)
+	batchedResults, err := batched.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := resultstore.DiffSnapshots(want, snapshotOf(t, batchedResults)); !d.Clean() {
+		t.Fatalf("batched generated sweep differs from solo: %+v", d.Entries)
+	}
+
+	addrs := []string{startWorker(t, nil).URL, startWorker(t, nil).URL}
+	c := newCoordinator(t, Options{Workers: addrs, ShardJobs: 1})
+	fabricResults, err := c.Run(context.Background(), jobs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := resultstore.DiffSnapshots(want, snapshotOf(t, fabricResults)); !d.Clean() {
+		t.Fatalf("2-worker fabric generated sweep differs from solo: %+v", d.Entries)
 	}
 }
 

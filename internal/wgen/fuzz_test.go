@@ -1,0 +1,113 @@
+package wgen
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vliwmt/internal/isa"
+)
+
+// FuzzParseName drives the canonical-name grammar: any accepted name
+// must decode to a valid profile, re-encode to exactly itself, and
+// regenerate a Validate-clean kernel deterministically. Seeds come
+// from generator output (committed under testdata/fuzz) plus malformed
+// spellings of the grammar's edges.
+func FuzzParseName(f *testing.F) {
+	rng := NewRand(17)
+	for i := 0; i < 6; i++ {
+		p := RandomProfile(rng, Class(i%3))
+		f.Add(BenchmarkName(p, rng.Uint64()))
+	}
+	f.Add("gen:L:b2:o8:m2000:u0:x5000:p5000:t8:r0:s3")
+	f.Add("gen:H:b64:o512:m8000:u8000:x10000:p10000:t65536:r8:s18446744073709551615")
+	f.Add("gen:L:b02:o8:m2000:u0:x5000:p5000:t8:r0:s3") // leading zero
+	f.Add("gen:Q:b2:o8:m2000:u0:x5000:p5000:t8:r0:s3")
+	f.Add("gen:L:b2:o8")
+	f.Add("genmix:LLHH:s7")
+	f.Add("imgpipe")
+	f.Fuzz(func(t *testing.T, name string) {
+		p, seed, err := Parse(name)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse accepted %q with invalid profile: %v", name, verr)
+		}
+		if canon := BenchmarkName(p, seed); canon != name {
+			t.Fatalf("accepted name %q is not canonical (re-encodes to %q)", name, canon)
+		}
+		fn, err := Generate(p, seed)
+		if err != nil {
+			t.Fatalf("parsed name %q does not generate: %v", name, err)
+		}
+		if verr := fn.Validate(); verr != nil {
+			t.Fatalf("kernel of %q invalid: %v", name, verr)
+		}
+		a, _ := json.Marshal(fn)
+		b, _ := json.Marshal(MustGenerate(p, seed))
+		if string(a) != string(b) {
+			t.Fatalf("kernel of %q not deterministic", name)
+		}
+	})
+}
+
+// FuzzGenerate hammers the generator over the raw parameter space: any
+// profile Validate accepts must generate a kernel that passes
+// ir.Validate, uses only schedulable op classes (branches are block
+// terminators, copies are compiler-inserted), respects the block/op
+// budget, and reproduces bit-identically. Parameters Validate rejects
+// must make Generate fail too — never panic.
+func FuzzGenerate(f *testing.F) {
+	rng := NewRand(29)
+	for i := 0; i < 4; i++ {
+		p := RandomProfile(rng, Class(i%3))
+		f.Add(uint8(p.Class), p.Blocks, p.Ops, bp(p.MemDensity), bp(p.MulDensity),
+			bp(p.BranchDensity), bp(p.TakenBias), p.TripCount, p.Unroll, rng.Uint64())
+	}
+	f.Add(uint8(0), 1, 2, 0, 0, 0, 0, 1, 0, uint64(0))
+	f.Add(uint8(2), 64, 512, 8000, 8000, 10000, 10000, 65536, 8, uint64(1)<<63)
+	f.Add(uint8(9), -1, 1000, 20000, -3, 10001, 5, 0, 99, uint64(7))
+	f.Fuzz(func(t *testing.T, class uint8, blocks, ops, mem, mul, br, bias, trip, unroll int, seed uint64) {
+		p := Profile{
+			Class: Class(class), Blocks: blocks, Ops: ops,
+			MemDensity: fromBP(mem), MulDensity: fromBP(mul),
+			BranchDensity: fromBP(br), TakenBias: fromBP(bias),
+			TripCount: trip, Unroll: unroll,
+		}
+		fn, err := Generate(p, seed)
+		if verr := p.Validate(); verr != nil {
+			if err == nil {
+				t.Fatalf("Generate accepted a profile Validate rejects: %v", verr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Generate failed on a valid profile %+v: %v", p, err)
+		}
+		if verr := fn.Validate(); verr != nil {
+			t.Fatalf("generated IR invalid for %+v: %v", p, verr)
+		}
+		if len(fn.Blocks) != p.Blocks {
+			t.Fatalf("%d blocks generated, profile wants %d", len(fn.Blocks), p.Blocks)
+		}
+		for _, blk := range fn.Blocks {
+			for i, op := range blk.Ops {
+				switch op.Class {
+				case isa.OpALU, isa.OpMul, isa.OpMem:
+				default:
+					t.Fatalf("block %s op %d has unschedulable class %v", blk.Name, i, op.Class)
+				}
+			}
+			// The op budget bounds every block: roots + chains + joins
+			// are accounted against p.Ops, never past it.
+			if len(blk.Ops) > p.Ops+1 {
+				t.Fatalf("block %s has %d ops, budget is %d", blk.Name, len(blk.Ops), p.Ops)
+			}
+		}
+		a, _ := json.Marshal(fn)
+		b, _ := json.Marshal(MustGenerate(p, seed))
+		if string(a) != string(b) {
+			t.Fatalf("generation not deterministic for %+v seed %d", p, seed)
+		}
+	})
+}

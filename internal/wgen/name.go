@@ -1,0 +1,198 @@
+package wgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonical names. A generated benchmark is named by its parameters:
+//
+//	gen:H:b2:o32:m1500:u2000:x500:p2500:t64:r2:s42
+//
+// class, blocks, ops, memory/multiply/branch densities and taken bias
+// in basis points (1/10000), trip count, unroll factor, seed. A
+// generated Table-2-style mix is named by its class combination and
+// seed:
+//
+//	genmix:LMHH:s7
+//
+// Both grammars are strict: Parse and ParseMixName accept exactly the
+// spelling they emit (re-encoding must reproduce the input), so a
+// name is canonical by construction — two equal names always denote
+// the same kernel bytes, and unequal canonical names of equal
+// parameters cannot exist. That is what lets names serve as compile
+// cache keys, result-store key components and wire identifiers with
+// no side channel.
+
+// Prefix marks generated benchmark names.
+const Prefix = "gen:"
+
+// MixPrefix marks generated mix names.
+const MixPrefix = "genmix:"
+
+// IsName reports whether name is a generated benchmark name (by
+// prefix; Parse decides validity).
+func IsName(name string) bool { return strings.HasPrefix(name, Prefix) }
+
+// IsMixName reports whether name is a generated mix name.
+func IsMixName(name string) bool { return strings.HasPrefix(name, MixPrefix) }
+
+// BenchmarkName renders the canonical name of the (profile, seed)
+// point. The profile is quantized first, so the name round-trips
+// through Parse exactly.
+func BenchmarkName(p Profile, seed uint64) string {
+	p = p.Quantize()
+	return fmt.Sprintf("gen:%s:b%d:o%d:m%d:u%d:x%d:p%d:t%d:r%d:s%d",
+		p.Class, p.Blocks, p.Ops,
+		bp(p.MemDensity), bp(p.MulDensity), bp(p.BranchDensity), bp(p.TakenBias),
+		p.TripCount, p.Unroll, seed)
+}
+
+// field parses one "<tag><int>" name field.
+func field(s, tag string) (int, error) {
+	v, ok := strings.CutPrefix(s, tag)
+	if !ok {
+		return 0, fmt.Errorf("field %q does not start with %q", s, tag)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("field %q is not a non-negative integer", s)
+	}
+	return n, nil
+}
+
+// Parse decodes a canonical generated benchmark name back to its
+// profile and seed. It rejects malformed grammar, out-of-range
+// profiles (through Profile.Validate) and non-canonical spellings
+// (leading zeros, unquantized densities), so every accepted name is
+// reproducible bit-for-bit by BenchmarkName.
+func Parse(name string) (Profile, uint64, error) {
+	fail := func(err error) (Profile, uint64, error) {
+		return Profile{}, 0, fmt.Errorf("wgen: name %q: %w", name, err)
+	}
+	if !IsName(name) {
+		return fail(fmt.Errorf("missing %q prefix", Prefix))
+	}
+	parts := strings.Split(name[len(Prefix):], ":")
+	if len(parts) != 10 {
+		return fail(fmt.Errorf("want 10 fields after the prefix, got %d", len(parts)))
+	}
+	class, err := ParseClass(parts[0])
+	if err != nil {
+		return fail(err)
+	}
+	var p Profile
+	p.Class = class
+	ints := []struct {
+		tag string
+		dst *int
+	}{
+		{"b", &p.Blocks}, {"o", &p.Ops},
+		{"m", nil}, {"u", nil}, {"x", nil}, {"p", nil},
+		{"t", &p.TripCount}, {"r", &p.Unroll},
+	}
+	var bps [4]int
+	bpi := 0
+	for i, f := range ints {
+		n, err := field(parts[1+i], f.tag)
+		if err != nil {
+			return fail(err)
+		}
+		if f.dst != nil {
+			*f.dst = n
+		} else {
+			bps[bpi] = n
+			bpi++
+		}
+	}
+	p.MemDensity = fromBP(bps[0])
+	p.MulDensity = fromBP(bps[1])
+	p.BranchDensity = fromBP(bps[2])
+	p.TakenBias = fromBP(bps[3])
+	seedStr, ok := strings.CutPrefix(parts[9], "s")
+	if !ok {
+		return fail(fmt.Errorf("field %q does not start with %q", parts[9], "s"))
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil {
+		return fail(fmt.Errorf("seed %q is not an unsigned integer", seedStr))
+	}
+	if err := p.Validate(); err != nil {
+		return fail(err)
+	}
+	if canon := BenchmarkName(p, seed); canon != name {
+		return fail(fmt.Errorf("not canonical (want %q)", canon))
+	}
+	return p, seed, nil
+}
+
+// MixName renders the canonical name of a generated 4-thread mix: the
+// ILP-class combination (Table-2 style, e.g. "LMHH") plus the seed the
+// member profiles derive from.
+func MixName(combo string, seed uint64) (string, error) {
+	if _, err := classes(combo); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s%s:s%d", MixPrefix, combo, seed), nil
+}
+
+// ParseMixName decodes a canonical generated mix name.
+func ParseMixName(name string) (string, uint64, error) {
+	fail := func(err error) (string, uint64, error) {
+		return "", 0, fmt.Errorf("wgen: mix name %q: %w", name, err)
+	}
+	if !IsMixName(name) {
+		return fail(fmt.Errorf("missing %q prefix", MixPrefix))
+	}
+	combo, seedPart, ok := strings.Cut(name[len(MixPrefix):], ":")
+	if !ok {
+		return fail(fmt.Errorf("want genmix:<classes>:s<seed>"))
+	}
+	if _, err := classes(combo); err != nil {
+		return fail(err)
+	}
+	seedStr, ok := strings.CutPrefix(seedPart, "s")
+	if !ok {
+		return fail(fmt.Errorf("field %q does not start with %q", seedPart, "s"))
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil {
+		return fail(fmt.Errorf("seed %q is not an unsigned integer", seedStr))
+	}
+	if canon, _ := MixName(combo, seed); canon != name {
+		return fail(fmt.Errorf("not canonical (want %q)", canon))
+	}
+	return combo, seed, nil
+}
+
+// memberSeed derives member i's generation seed from the mix seed
+// (splitmix64 spread, like sweep.Grid's per-job seeds).
+func memberSeed(seed uint64, i int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// MixMembers expands a generated mix into its four member benchmark
+// names: one random profile per class letter, each drawn from a seed
+// derived from the mix seed and the member index. Deterministic, so a
+// mix name fully identifies its members everywhere, including across
+// the wire.
+func MixMembers(combo string, seed uint64) ([4]string, error) {
+	var out [4]string
+	cls, err := classes(combo)
+	if err != nil {
+		return out, err
+	}
+	for i, c := range cls {
+		ms := memberSeed(seed, i)
+		p := RandomProfile(NewRand(ms), c)
+		out[i] = BenchmarkName(p, ms)
+	}
+	return out, nil
+}

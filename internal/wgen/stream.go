@@ -1,0 +1,125 @@
+package wgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Request-stream scenarios extend the mediaserver example into a load
+// model: instead of one hand-picked steady-state mix, a scenario is a
+// multi-tenant stream of 4-thread requests with exponential
+// interarrival times, each request a generated mix drawn from a
+// class-combination palette. Like single kernels and mixes, a stream
+// is a pure function of (StreamOptions, seed), so the same scenario
+// replays bit-identically anywhere.
+
+// DefaultCombos is the Table-2-style class-combination palette streams
+// draw from when StreamOptions.Combos is empty: it spans all-control
+// (LLLL) through all-signal-processing (HHHH) request shapes.
+var DefaultCombos = []string{"LLLL", "LLMH", "LLHH", "LMMH", "MMHH", "MHHH", "HHHH"}
+
+// StreamOptions parameterizes a request-stream scenario.
+type StreamOptions struct {
+	// Requests is the stream length (1..65536).
+	Requests int
+	// Tenants is the number of tenants requests are attributed to
+	// (default 1; at most 1024). Tenancy is informational — a label for
+	// per-tenant accounting in downstream analysis.
+	Tenants int
+	// MeanInterarrival is the mean of the exponential request
+	// interarrival distribution, in cycles (default 10000).
+	MeanInterarrival float64
+	// Combos is the class-combination palette requests draw their mixes
+	// from; empty means DefaultCombos. Each entry must be a 4-letter
+	// L/M/H combination.
+	Combos []string
+	// Schemes, when non-empty, assigns merge schemes to requests
+	// round-robin (e.g. the feasible set under an area budget). The
+	// names are carried through verbatim; empty leaves requests
+	// scheme-less (single-context multitasking downstream).
+	Schemes []string
+}
+
+// Request is one arrival in a generated stream: a 4-thread generated
+// mix with its members expanded, an arrival cycle, a tenant and a
+// simulation seed. Fields are plain strings and integers so requests
+// serialize directly into sweep jobs and wire DTOs.
+type Request struct {
+	// Index is the request's position in the stream.
+	Index int
+	// Arrival is the request's arrival time in cycles.
+	Arrival uint64
+	// Tenant attributes the request (0-based).
+	Tenant int
+	// Mix is the canonical generated-mix name ("genmix:LLHH:s7").
+	Mix string
+	// Members are the mix's four member benchmark names.
+	Members [4]string
+	// Scheme is the assigned merge scheme name; may be empty.
+	Scheme string
+	// Seed is the per-request simulation seed.
+	Seed uint64
+}
+
+// GenerateStream emits a deterministic multi-tenant request stream for
+// the given options and seed.
+func GenerateStream(opt StreamOptions, seed uint64) ([]Request, error) {
+	if opt.Requests < 1 || opt.Requests > 65536 {
+		return nil, fmt.Errorf("wgen: %d requests outside [1, 65536]", opt.Requests)
+	}
+	if opt.Tenants == 0 {
+		opt.Tenants = 1
+	}
+	if opt.Tenants < 1 || opt.Tenants > 1024 {
+		return nil, fmt.Errorf("wgen: %d tenants outside [1, 1024]", opt.Tenants)
+	}
+	if opt.MeanInterarrival == 0 {
+		opt.MeanInterarrival = 10000
+	}
+	if opt.MeanInterarrival < 1 || opt.MeanInterarrival > 1e9 {
+		return nil, fmt.Errorf("wgen: mean interarrival %g cycles outside [1, 1e9]", opt.MeanInterarrival)
+	}
+	combos := opt.Combos
+	if len(combos) == 0 {
+		combos = DefaultCombos
+	}
+	for _, c := range combos {
+		if _, err := classes(c); err != nil {
+			return nil, err
+		}
+	}
+
+	rng := NewRand(seed ^ 0xbb67ae8584caa73b)
+	reqs := make([]Request, opt.Requests)
+	var clock uint64
+	for i := range reqs {
+		// Exponential interarrival: -mean·ln(1-u). At least one cycle so
+		// arrivals are strictly increasing and replay order is total.
+		gap := uint64(-opt.MeanInterarrival*math.Log(1-rng.float())) + 1
+		clock += gap
+
+		combo := combos[rng.intn(len(combos))]
+		mixSeed := rng.next()
+		mix, err := MixName(combo, mixSeed)
+		if err != nil {
+			return nil, err
+		}
+		members, err := MixMembers(combo, mixSeed)
+		if err != nil {
+			return nil, err
+		}
+		r := Request{
+			Index:   i,
+			Arrival: clock,
+			Tenant:  rng.intn(opt.Tenants),
+			Mix:     mix,
+			Members: members,
+			Seed:    rng.next(),
+		}
+		if len(opt.Schemes) > 0 {
+			r.Scheme = opt.Schemes[i%len(opt.Schemes)]
+		}
+		reqs[i] = r
+	}
+	return reqs, nil
+}

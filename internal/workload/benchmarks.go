@@ -18,6 +18,7 @@ import (
 	"vliwmt/internal/ir"
 	"vliwmt/internal/isa"
 	"vliwmt/internal/program"
+	"vliwmt/internal/wgen"
 )
 
 // ILPClass is the paper's L/M/H classification by IPCp.
@@ -362,8 +363,13 @@ func Benchmarks() []Benchmark {
 	}
 }
 
-// ByName returns the named benchmark.
+// ByName returns the named benchmark: a Table 1 name, or a canonical
+// generated "gen:" name (internal/wgen), which is parsed and
+// regenerated deterministically.
 func ByName(name string) (Benchmark, error) {
+	if wgen.IsName(name) {
+		return generatedByName(name)
+	}
 	for _, b := range Benchmarks() {
 		if b.Name == name {
 			return b, nil
@@ -394,8 +400,12 @@ func Mixes() []Mix {
 	}
 }
 
-// MixByName returns the named Table 2 mix.
+// MixByName returns the named mix: a Table 2 name, or a canonical
+// generated "genmix:" name expanded into four generated benchmarks.
 func MixByName(name string) (Mix, error) {
+	if wgen.IsMixName(name) {
+		return generatedMixByName(name)
+	}
 	for _, m := range Mixes() {
 		if m.Name == name {
 			return m, nil

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vliwmt/internal/isa"
+	"vliwmt/internal/wgen"
+)
+
+// TestByNameGenerated: canonical "gen:" names resolve to benchmarks
+// that regenerate the exact kernel and compile deterministically.
+func TestByNameGenerated(t *testing.T) {
+	p := wgen.RandomProfile(wgen.NewRand(3), wgen.Medium)
+	name := wgen.BenchmarkName(p, 99)
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != name {
+		t.Fatalf("benchmark name %q, want %q", b.Name, name)
+	}
+	if b.Class != Medium {
+		t.Fatalf("class %v, want Medium", b.Class)
+	}
+	if b.Unroll != p.Unroll {
+		t.Fatalf("unroll %d, want %d", b.Unroll, p.Unroll)
+	}
+
+	f1, _ := json.Marshal(b.Build())
+	f2, _ := json.Marshal(wgen.MustGenerate(p, 99))
+	if string(f1) != string(f2) {
+		t.Fatal("ByName Build does not reproduce the named kernel")
+	}
+
+	prog, err := b.Compile(isa.Default())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if prog.Name != name {
+		t.Fatalf("program name %q, want %q", prog.Name, name)
+	}
+}
+
+// TestByNameErrors covers the benchmark lookup error paths: unknown
+// plain names, and malformed or out-of-range generated names.
+func TestByNameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"nosuch", `unknown benchmark "nosuch"`},
+		{"", `unknown benchmark ""`},
+		{"gen:bogus", "want 10 fields"},
+		{"gen:L:b0:o8:m2000:u0:x5000:p5000:t8:r0:s3", "0 blocks outside [1, 64]"},
+		{"gen:L:b2:o8:m2000:u0:x5000:p5000:t0:r0:s3", "trip count 0 must be at least 1"},
+		{"gen:L:b2:o8:m9999:u0:x5000:p5000:t8:r0:s3", "memory density"},
+	}
+	for _, tc := range cases {
+		_, err := ByName(tc.name)
+		if err == nil {
+			t.Errorf("ByName(%q) accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ByName(%q) error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if !strings.HasPrefix(err.Error(), "workload: ") {
+			t.Errorf("ByName(%q) error %q lacks the workload: prefix", tc.name, err)
+		}
+	}
+}
+
+// TestMixByNameGenerated: "genmix:" names expand deterministically to
+// four resolvable generated members of the requested classes.
+func TestMixByNameGenerated(t *testing.T) {
+	name, err := wgen.MixName("LMHH", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MixByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != name {
+		t.Fatalf("mix name %q, want %q", m.Name, name)
+	}
+	wantClasses := [4]ILPClass{Low, Medium, High, High}
+	for i, member := range m.Members {
+		b, err := ByName(member)
+		if err != nil {
+			t.Fatalf("member %d %q: %v", i, member, err)
+		}
+		if b.Class != wantClasses[i] {
+			t.Fatalf("member %d class %v, want %v", i, b.Class, wantClasses[i])
+		}
+	}
+	again, err := MixByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Members != m.Members {
+		t.Fatal("MixByName not deterministic for generated mixes")
+	}
+}
+
+// TestMixByNameErrors covers the mix lookup error paths.
+func TestMixByNameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"XXXX", `unknown mix "XXXX"`},
+		{"", `unknown mix ""`},
+		{"genmix:LMHQ:s1", "unknown ILP class"},
+		{"genmix:LMH:s1", "must be 4 letters"},
+		{"genmix:LMHH", "want genmix:<classes>:s<seed>"},
+	}
+	for _, tc := range cases {
+		_, err := MixByName(tc.name)
+		if err == nil {
+			t.Errorf("MixByName(%q) accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("MixByName(%q) error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

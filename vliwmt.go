@@ -166,6 +166,11 @@ type Mix = workload.Mix
 // Mixes returns the nine Table 2 workload mixes (LLLL .. HHHH).
 func Mixes() []Mix { return workload.Mixes() }
 
+// MixByName returns the named workload mix: a Table 2 name, or a
+// canonical generated "genmix:" name (GeneratedMix) expanded into four
+// generated benchmarks.
+func MixByName(name string) (Mix, error) { return workload.MixByName(name) }
+
 // RunMix compiles the named Table 2 mix (through the process-wide
 // compile cache) and simulates it under cfg.
 func RunMix(cfg Config, mixName string) (*Result, error) {
